@@ -1,0 +1,48 @@
+//! Table 1 — taxonomy of tiered memory systems.
+//!
+//! Generated directly from each policy's descriptor, so the table always
+//! reflects what the implementations actually do.
+
+use memtis_bench::{System, Table};
+
+fn main() {
+    let systems = [
+        System::AutoNuma,
+        System::AutoTiering,
+        System::Tiering08,
+        System::Tpp,
+        System::Nimble,
+        System::MultiClock,
+        System::Tmts,
+        System::Hemem,
+        System::Memtis,
+    ];
+    let mut t = Table::new(vec![
+        "system",
+        "tracking mechanism",
+        "subpage tracking",
+        "promotion metric",
+        "demotion metric",
+        "thresholding",
+        "critical-path migration",
+        "page size handling",
+    ]);
+    for s in systems {
+        let d = s.build().descriptor();
+        t.row(vec![
+            d.name.to_string(),
+            d.mechanism.to_string(),
+            if d.subpage_tracking { "Yes" } else { "No" }.to_string(),
+            d.promotion_metric.to_string(),
+            d.demotion_metric.to_string(),
+            d.thresholding.to_string(),
+            d.critical_path_migration.to_string(),
+            d.page_size_handling.to_string(),
+        ]);
+    }
+    memtis_bench::emit(
+        "table1_taxonomy",
+        "comparison of tiered memory systems (paper Table 1)",
+        &t,
+    );
+}

@@ -1,0 +1,174 @@
+//! `memtis` — ad-hoc experiment CLI.
+//!
+//! ```text
+//! memtis run  <benchmark> [--ratio 1:8] [--policy memtis] [--cxl] [--accesses N]
+//! memtis compare <benchmark> [--ratio 1:8] [--cxl] [--accesses N]
+//! memtis list
+//! ```
+//!
+//! `run` executes one cell and prints the detailed report; `compare` runs
+//! every system on one benchmark; `list` shows benchmarks and policies.
+
+use memtis_bench::{
+    normalized, run_baseline, run_system, CapacityKind, Ratio, System, Table,
+};
+use memtis_workloads::{Benchmark, Scale};
+
+fn parse_ratio(s: &str) -> Option<Ratio> {
+    let (f, c) = s.split_once(':')?;
+    Some(Ratio {
+        fast: f.parse().ok()?,
+        capacity: c.parse().ok()?,
+    })
+}
+
+fn find_benchmark(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+}
+
+fn find_system(name: &str) -> Option<System> {
+    let all = [
+        System::AutoNuma,
+        System::AutoTiering,
+        System::Tiering08,
+        System::Tpp,
+        System::Nimble,
+        System::Hemem,
+        System::Memtis,
+        System::MemtisNs,
+        System::MemtisVanilla,
+        System::MultiClock,
+        System::Tmts,
+        System::AllNvm,
+        System::AllDram,
+    ];
+    all.into_iter().find(|s| s.name().eq_ignore_ascii_case(name))
+}
+
+struct Opts {
+    ratio: Ratio,
+    kind: CapacityKind,
+    policy: System,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        ratio: Ratio { fast: 1, capacity: 8 },
+        kind: CapacityKind::Nvm,
+        policy: System::Memtis,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ratio" => {
+                if let Some(r) = args.get(i + 1).and_then(|s| parse_ratio(s)) {
+                    o.ratio = r;
+                }
+                i += 2;
+            }
+            "--policy" => {
+                if let Some(p) = args.get(i + 1).and_then(|s| find_system(s)) {
+                    o.policy = p;
+                }
+                i += 2;
+            }
+            "--cxl" => {
+                o.kind = CapacityKind::Cxl;
+                i += 1;
+            }
+            "--accesses" => {
+                if let Some(n) = args.get(i + 1) {
+                    std::env::set_var("MEMTIS_ACCESSES", n);
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    o
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  memtis run <benchmark> [--ratio F:C] [--policy NAME] [--cxl] [--accesses N]\n  \
+         memtis compare <benchmark> [--ratio F:C] [--cxl] [--accesses N]\n  memtis list"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("benchmarks:");
+            for b in Benchmark::ALL {
+                println!("  {:<12} {}", b.name(), b.description());
+            }
+            println!("\npolicies:");
+            for s in [
+                "AutoNUMA", "AutoTiering", "Tiering-0.8", "TPP", "Nimble", "HeMem", "MEMTIS",
+                "MEMTIS-NS", "MEMTIS-Vanilla", "MULTI-CLOCK", "TMTS", "All-NVM", "All-DRAM",
+            ] {
+                println!("  {s}");
+            }
+        }
+        Some("run") => {
+            let Some(bench) = args.get(1).and_then(|s| find_benchmark(s)) else { usage() };
+            let o = parse_opts(&args[2..]);
+            let base = run_baseline(bench, Scale::DEFAULT, o.kind);
+            let r = run_system(bench, Scale::DEFAULT, o.ratio, o.kind, o.policy);
+            println!(
+                "{} on {} at {} ({}):",
+                o.policy.name(),
+                bench.name(),
+                o.ratio.label(),
+                if o.kind == CapacityKind::Cxl { "CXL" } else { "NVM" }
+            );
+            println!("  normalized perf   : {:.3} (vs all-{} w/ THP)", normalized(&base, &r),
+                if o.kind == CapacityKind::Cxl { "CXL" } else { "NVM" });
+            println!("  wall time         : {:.2} ms", r.wall_ns / 1e6);
+            println!("  throughput        : {:.1} M acc/s", r.throughput() / 1e6);
+            println!("  fast-tier hits    : {:.1}%", r.stats.fast_tier_hit_ratio() * 100.0);
+            println!("  migration traffic : {} 4K pages", r.stats.migration.traffic_4k());
+            println!("  huge-page splits  : {}", r.stats.migration.splits);
+            println!("  RSS (peak/final)  : {} / {} MB", r.rss_peak_bytes >> 20, r.rss_final_bytes >> 20);
+            println!("  daemon CPU        : {:.2} cores", r.daemon_core_usage());
+            println!("  app-path overhead : {:.2} ms", r.app_extra_ns / 1e6);
+            let thpt: Vec<f64> = r.timeline.iter().map(|s| s.window_throughput).collect();
+            let fhr: Vec<f64> = r.timeline.iter().map(|s| s.window_fast_hit_ratio).collect();
+            if !thpt.is_empty() {
+                println!("  throughput  (t →) : {}", memtis_bench::sparkline(&thpt, 48));
+                println!("  fast-hit %  (t →) : {}", memtis_bench::sparkline(&fhr, 48));
+            }
+        }
+        Some("compare") => {
+            let Some(bench) = args.get(1).and_then(|s| find_benchmark(s)) else { usage() };
+            let o = parse_opts(&args[2..]);
+            let base = run_baseline(bench, Scale::DEFAULT, o.kind);
+            let mut t = Table::new(vec!["policy", "normalized", "fast-hit %", "traffic 4K", "splits"]);
+            let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
+            for sys in System::FIG5 {
+                let r = run_system(bench, Scale::DEFAULT, o.ratio, o.kind, sys);
+                let n = normalized(&base, &r);
+                rows.push((
+                    n,
+                    vec![
+                        sys.name().to_string(),
+                        format!("{n:.3}"),
+                        format!("{:.1}", r.stats.fast_tier_hit_ratio() * 100.0),
+                        r.stats.migration.traffic_4k().to_string(),
+                        r.stats.migration.splits.to_string(),
+                    ],
+                ));
+            }
+            rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+            for (_, row) in rows {
+                t.row(row);
+            }
+            println!("{} at {}:\n{}", bench.name(), o.ratio.label(), t.render());
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,99 @@
+//! Diagnostic probe: run one (benchmark, ratio, system) cell and dump the
+//! detailed report. Usage: `probe <benchmark> <ratio> <system>`.
+
+use memtis_bench::{run_baseline, run_system, CapacityKind, Ratio, System};
+use memtis_workloads::{Benchmark, Scale};
+
+fn probe_memtis(bench: Benchmark, ratio: Ratio) {
+    use memtis_core::{MemtisConfig, MemtisPolicy};
+    use memtis_sim::prelude::Simulation;
+    use memtis_workloads::SpecStream;
+    let machine = memtis_bench::machine_for(bench, Scale::DEFAULT, ratio, CapacityKind::Nvm);
+    let mut wl = SpecStream::new(
+        bench.spec(Scale::DEFAULT, memtis_bench::access_budget()),
+        memtis_bench::SEED,
+    );
+    let mut sim = Simulation::new(
+        machine,
+        MemtisPolicy::new(MemtisConfig::sim_scaled()),
+        memtis_bench::driver_config(),
+    );
+    let _ = sim.run(&mut wl).unwrap();
+    let p = sim.policy();
+    let st = &p.stats;
+    println!(
+        "  memtis internals: samples={} adapts={} coolings={} estimates={} \
+         rhr={:.3} ehr={:.3} candidates={} requested={} splits={} collapses={} \
+         thr={:?} base_thr={:?} period={}",
+        st.samples,
+        st.adaptations,
+        st.coolings,
+        st.estimates,
+        st.last_rhr,
+        st.last_ehr,
+        st.split_candidates,
+        st.split_requested,
+        st.splits,
+        st.collapses,
+        (p.thresholds().hot, p.thresholds().warm, p.thresholds().cold),
+        (p.base_thresholds().hot, p.base_thresholds().warm, p.base_thresholds().cold),
+        p.load_period(),
+    );
+    println!("  page hist: {:?}", p.histogram().bins());
+    println!("  base hist: {:?}", p.base_histogram().bins());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| Some(b.name().to_lowercase()) == args.get(1).map(|s| s.to_lowercase()))
+        .unwrap_or(Benchmark::PageRank);
+    let ratio = match args.get(2).map(String::as_str) {
+        Some("1:2") => Ratio { fast: 1, capacity: 2 },
+        Some("1:16") => Ratio { fast: 1, capacity: 16 },
+        Some("2:1") => Ratio::TWO_TO_ONE,
+        _ => Ratio { fast: 1, capacity: 8 },
+    };
+    let systems: Vec<System> = match args.get(3).map(String::as_str) {
+        Some("all") | None => System::FIG5.to_vec(),
+        Some(name) => System::FIG5
+            .into_iter()
+            .filter(|s| s.name().eq_ignore_ascii_case(name))
+            .collect(),
+    };
+    let base = run_baseline(bench, Scale::DEFAULT, CapacityKind::Nvm);
+    println!(
+        "baseline all-NVM: wall={:.2}ms thpt={:.1}M/s llc_miss={:.3}",
+        base.wall_ns / 1e6,
+        base.throughput() / 1e6,
+        base.llc.miss_ratio()
+    );
+    for sys in systems {
+        let r = run_system(bench, Scale::DEFAULT, ratio, CapacityKind::Nvm, sys);
+        println!(
+            "{:<12} norm={:.3} wall={:.2}ms app_extra={:.2}ms daemon={:.2}ms dcores={:.2} \
+             fastHR={:.3} promo4k={} demo4k={} splits={} shootdowns={} hintfaults={} rss={}MB \
+             tlb_miss={:.4} llc_miss={:.3} avg_lat={:.1}ns",
+            sys.name(),
+            base.wall_ns / r.wall_ns,
+            r.wall_ns / 1e6,
+            r.app_extra_ns / 1e6,
+            r.daemon_ns / 1e6,
+            r.daemon_core_usage(),
+            r.stats.fast_tier_hit_ratio(),
+            r.stats.migration.promoted_4k,
+            r.stats.migration.demoted_4k,
+            r.stats.migration.splits,
+            r.stats.shootdowns,
+            r.stats.hint_faults,
+            r.rss_final_bytes >> 20,
+            r.tlb.miss_ratio(),
+            r.llc.miss_ratio(),
+            r.app_access_ns / r.accesses as f64,
+        );
+        if sys == System::Memtis {
+            probe_memtis(bench, ratio);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Experiment harness: machine configurations, system registry, run matrix.
+//!
+//! Everything the per-figure bench targets share: tiering-ratio machine
+//! setup (§6.1), the policy registry, normalized-performance computation
+//! (relative to all-NVM-with-THP, as in every paper figure), and geometric
+//! means.
+
+use memtis_baselines::{
+    AutoNumaConfig, AutoNumaPolicy, AutoTieringConfig, AutoTieringPolicy, HememConfig,
+    HememPolicy, MultiClockConfig, MultiClockPolicy, NimbleConfig, NimblePolicy, StaticPolicy,
+    Tiering08Config, Tiering08Policy, TmtsConfig, TmtsPolicy, TppConfig, TppPolicy,
+};
+use memtis_core::{MemtisConfig, MemtisPolicy};
+use memtis_sim::prelude::*;
+use memtis_workloads::{Benchmark, Scale, SpecStream};
+
+/// Default seed for all experiment streams.
+pub const SEED: u64 = 20231023; // SOSP '23 opening day.
+
+/// Time-compression factor: a simulated run executes roughly this many
+/// times fewer accesses per page than the paper's minutes-long executions.
+/// Migration bandwidth is scaled up by the same factor so that the ratio of
+/// tier-fill time to run length — and therefore the relative cost of page
+/// movement — stays in the paper's regime (see DESIGN.md).
+pub const TIME_COMPRESSION: f64 = 64.0;
+
+/// Access budget per run; override with `MEMTIS_ACCESSES`.
+pub fn access_budget() -> u64 {
+    std::env::var("MEMTIS_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_500_000)
+}
+
+/// Capacity-tier memory kind for an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityKind {
+    /// Optane-like NVM (the paper's main setting).
+    Nvm,
+    /// Emulated CXL memory (§6.4).
+    Cxl,
+}
+
+/// A fast:capacity tiering ratio (fast = RSS / (fast + capacity) share).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ratio {
+    /// Fast-tier share numerator.
+    pub fast: u32,
+    /// Capacity-tier share denominator.
+    pub capacity: u32,
+}
+
+impl Ratio {
+    /// The paper's three main configurations.
+    pub const MAIN: [Ratio; 3] = [
+        Ratio { fast: 1, capacity: 2 },
+        Ratio { fast: 1, capacity: 8 },
+        Ratio { fast: 1, capacity: 16 },
+    ];
+
+    /// Meta's production-target 2:1 configuration (§6.2.8).
+    pub const TWO_TO_ONE: Ratio = Ratio { fast: 2, capacity: 1 };
+
+    /// Fast-tier bytes for a workload of `rss` bytes.
+    pub fn fast_bytes(&self, rss: u64) -> u64 {
+        (rss * self.fast as u64 / (self.fast + self.capacity) as u64)
+            .max(2 * HUGE_PAGE_SIZE)
+    }
+
+    /// Label like "1:8".
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.fast, self.capacity)
+    }
+}
+
+/// Builds the machine for one experiment cell.
+pub fn machine_for(bench: Benchmark, scale: Scale, ratio: Ratio, kind: CapacityKind) -> MachineConfig {
+    let rss = bench.spec(scale, 1).total_bytes();
+    let fast = ratio.fast_bytes(rss);
+    // The capacity tier is sized generously: it must absorb the whole RSS
+    // (plus bloat and churn) when the fast tier is small.
+    let capacity = rss * 2 + 64 * HUGE_PAGE_SIZE;
+    let m = match kind {
+        CapacityKind::Nvm => MachineConfig::dram_nvm(fast, capacity),
+        CapacityKind::Cxl => MachineConfig::dram_cxl(fast, capacity),
+    };
+    m.with_bandwidth_scale(TIME_COMPRESSION)
+}
+
+/// Machine where everything fits in the fast tier (all-DRAM reference).
+pub fn machine_all_fast(bench: Benchmark, scale: Scale) -> MachineConfig {
+    let rss = bench.spec(scale, 1).total_bytes();
+    MachineConfig::dram_nvm(rss * 2 + 64 * HUGE_PAGE_SIZE, 64 * HUGE_PAGE_SIZE)
+        .with_bandwidth_scale(TIME_COMPRESSION)
+}
+
+/// Driver defaults for experiments at the default scale.
+pub fn driver_config() -> DriverConfig {
+    DriverConfig {
+        thp_enabled: true,
+        tick_interval_ns: 20_000.0,
+        timeline_interval_ns: 150_000.0,
+        max_accesses: None,
+    }
+}
+
+/// All systems compared in the paper's main figures, plus extras.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// Linux automatic NUMA balancing.
+    AutoNuma,
+    /// AutoTiering (ATC '21).
+    AutoTiering,
+    /// The tiering-0.8 kernel patch series.
+    Tiering08,
+    /// TPP (ASPLOS '23).
+    Tpp,
+    /// Nimble page management (ASPLOS '19).
+    Nimble,
+    /// HeMem (SOSP '21).
+    Hemem,
+    /// MEMTIS.
+    Memtis,
+    /// MEMTIS without huge-page split (Fig. 10/11 ablation).
+    MemtisNs,
+    /// MEMTIS without split and without the warm set (Fig. 10 "vanilla").
+    MemtisVanilla,
+    /// MULTI-CLOCK (HPCA '22), from Table 1.
+    MultiClock,
+    /// TMTS (ASPLOS '23), from Table 1 and the §8 discussion.
+    Tmts,
+    /// Static all-NVM (normalization baseline).
+    AllNvm,
+    /// Static all-DRAM (upper reference).
+    AllDram,
+}
+
+impl System {
+    /// The six comparison systems + MEMTIS, in the paper's Fig. 5 order.
+    pub const FIG5: [System; 7] = [
+        System::AutoNuma,
+        System::AutoTiering,
+        System::Tiering08,
+        System::Tpp,
+        System::Nimble,
+        System::Hemem,
+        System::Memtis,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::AutoNuma => "AutoNUMA",
+            System::AutoTiering => "AutoTiering",
+            System::Tiering08 => "Tiering-0.8",
+            System::Tpp => "TPP",
+            System::Nimble => "Nimble",
+            System::Hemem => "HeMem",
+            System::Memtis => "MEMTIS",
+            System::MemtisNs => "MEMTIS-NS",
+            System::MemtisVanilla => "MEMTIS-Vanilla",
+            System::MultiClock => "MULTI-CLOCK",
+            System::Tmts => "TMTS",
+            System::AllNvm => "All-NVM",
+            System::AllDram => "All-DRAM",
+        }
+    }
+
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn TieringPolicy> {
+        match self {
+            System::AutoNuma => Box::new(AutoNumaPolicy::new(AutoNumaConfig::default())),
+            System::AutoTiering => Box::new(AutoTieringPolicy::new(AutoTieringConfig::default())),
+            System::Tiering08 => Box::new(Tiering08Policy::new(Tiering08Config::default())),
+            System::Tpp => Box::new(TppPolicy::new(TppConfig::default())),
+            System::Nimble => Box::new(NimblePolicy::new(NimbleConfig::default())),
+            System::Hemem => Box::new(HememPolicy::new(HememConfig::default())),
+            System::Memtis => Box::new(MemtisPolicy::new(MemtisConfig::sim_scaled())),
+            System::MemtisNs => {
+                Box::new(MemtisPolicy::new(MemtisConfig::sim_scaled().without_split()))
+            }
+            System::MemtisVanilla => {
+                Box::new(MemtisPolicy::new(MemtisConfig::sim_scaled().vanilla()))
+            }
+            System::MultiClock => Box::new(MultiClockPolicy::new(MultiClockConfig::default())),
+            System::Tmts => Box::new(TmtsPolicy::new(TmtsConfig::default())),
+            System::AllNvm => Box::new(StaticPolicy::all_slow()),
+            System::AllDram => Box::new(StaticPolicy::all_fast()),
+        }
+    }
+}
+
+/// Runs one cell with a concrete policy, returning the report and the
+/// finished simulation so policy internals remain inspectable.
+pub fn run_sim<P: TieringPolicy>(
+    bench: Benchmark,
+    scale: Scale,
+    machine: MachineConfig,
+    policy: P,
+    driver: DriverConfig,
+    accesses: u64,
+) -> (RunReport, Simulation<P>) {
+    let mut wl = SpecStream::new(bench.spec(scale, accesses), SEED);
+    let mut sim = Simulation::new(machine, policy, driver);
+    let report = sim.run(&mut wl).expect("experiment run failed");
+    (report, sim)
+}
+
+/// Runs one experiment cell with a boxed policy.
+pub fn run_cell(
+    bench: Benchmark,
+    scale: Scale,
+    machine: MachineConfig,
+    policy: Box<dyn TieringPolicy>,
+    driver: DriverConfig,
+    accesses: u64,
+) -> RunReport {
+    let mut wl = SpecStream::new(bench.spec(scale, accesses), SEED);
+    let mut sim = Simulation::new(machine, policy, driver);
+    sim.run(&mut wl).expect("experiment run failed")
+}
+
+/// Runs `system` on `bench` at the given ratio and returns the report.
+pub fn run_system(
+    bench: Benchmark,
+    scale: Scale,
+    ratio: Ratio,
+    kind: CapacityKind,
+    system: System,
+) -> RunReport {
+    let machine = machine_for(bench, scale, ratio, kind);
+    run_cell(
+        bench,
+        scale,
+        machine,
+        system.build(),
+        driver_config(),
+        access_budget(),
+    )
+}
+
+/// Runs the all-NVM baseline for `bench` (the paper's normalization base:
+/// everything on the capacity tier, with THP).
+pub fn run_baseline(bench: Benchmark, scale: Scale, kind: CapacityKind) -> RunReport {
+    // A minimal fast tier that the All-NVM policy never uses.
+    let rss = bench.spec(scale, 1).total_bytes();
+    let capacity = rss * 2 + 64 * HUGE_PAGE_SIZE;
+    let machine = match kind {
+        CapacityKind::Nvm => MachineConfig::dram_nvm(2 * HUGE_PAGE_SIZE, capacity),
+        CapacityKind::Cxl => MachineConfig::dram_cxl(2 * HUGE_PAGE_SIZE, capacity),
+    }
+    .with_bandwidth_scale(TIME_COMPRESSION);
+    run_cell(
+        bench,
+        scale,
+        machine,
+        System::AllNvm.build(),
+        driver_config(),
+        access_budget(),
+    )
+}
+
+/// Normalized performance: baseline wall time over system wall time
+/// (higher is better; 1.0 == all-NVM).
+pub fn normalized(baseline: &RunReport, system: &RunReport) -> f64 {
+    baseline.wall_ns / system.wall_ns
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_compute_fast_tier_share() {
+        let r = Ratio { fast: 1, capacity: 2 };
+        assert_eq!(r.fast_bytes(9 << 21), 3 << 21);
+        assert_eq!(r.label(), "1:2");
+        let two = Ratio::TWO_TO_ONE;
+        assert_eq!(two.fast_bytes(9 << 21), 6 << 21);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn every_system_builds() {
+        for s in [
+            System::AutoNuma,
+            System::AutoTiering,
+            System::Tiering08,
+            System::Tpp,
+            System::Nimble,
+            System::Hemem,
+            System::Memtis,
+            System::MemtisNs,
+            System::MemtisVanilla,
+            System::MultiClock,
+            System::Tmts,
+            System::AllNvm,
+            System::AllDram,
+        ] {
+            let p = s.build();
+            assert!(!p.descriptor().name.is_empty());
+        }
+    }
+
+    #[test]
+    fn smoke_run_one_cell() {
+        std::env::set_var("MEMTIS_ACCESSES", "20000");
+        let scale = Scale::TEST;
+        let base = run_baseline(Benchmark::Roms, scale, CapacityKind::Nvm);
+        let r = run_system(
+            Benchmark::Roms,
+            scale,
+            Ratio { fast: 1, capacity: 8 },
+            CapacityKind::Nvm,
+            System::Memtis,
+        );
+        assert!(r.wall_ns > 0.0 && base.wall_ns > 0.0);
+        assert!(normalized(&base, &r) > 0.3);
+        std::env::remove_var("MEMTIS_ACCESSES");
+    }
+}

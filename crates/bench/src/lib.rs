@@ -1,0 +1,20 @@
+//! # memtis-bench — experiment harness for every paper table and figure
+//!
+//! Shared infrastructure for the `benches/` targets, each of which
+//! regenerates one table or figure of the MEMTIS paper (see DESIGN.md §3
+//! for the full index). Run them all with `cargo bench`; per-target with
+//! `cargo bench --bench fig5_main_comparison`. The access budget per run is
+//! controlled by the `MEMTIS_ACCESSES` environment variable.
+
+pub mod harness;
+pub mod plot;
+pub mod report;
+
+pub use harness::{
+    run_sim,
+    TIME_COMPRESSION,
+    access_budget, driver_config, geomean, machine_all_fast, machine_for, normalized,
+    run_baseline, run_cell, run_system, CapacityKind, Ratio, System, SEED,
+};
+pub use plot::{bar, sparkline};
+pub use report::{emit, experiments_dir, Table};

@@ -1,0 +1,87 @@
+//! Terminal plotting helpers: sparklines and braille-free bar strips for
+//! timeline tables, so `cargo bench` output conveys the *shape* of a series
+//! (Fig. 9/11-style) without leaving the terminal.
+
+/// Unicode block ramp used for sparklines.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a sparkline of `values`, downsampled to at most `width` columns.
+///
+/// Empty input renders as an empty string; a constant series renders at
+/// mid-height. Values are min–max normalized.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let cols = width.min(values.len());
+    // Downsample by averaging each bucket.
+    let mut buckets = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let lo = c * values.len() / cols;
+        let hi = ((c + 1) * values.len() / cols).max(lo + 1);
+        let avg = values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        buckets.push(avg);
+    }
+    let min = buckets.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = buckets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    buckets
+        .into_iter()
+        .map(|v| {
+            let t = if span <= 0.0 { 0.5 } else { (v - min) / span };
+            RAMP[((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders a horizontal bar of `value` relative to `max`, `width` cells.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let filled = ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = "█".repeat(filled);
+    s.push_str(&"░".repeat(width - filled));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        let up: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let s = sparkline(&up, 8);
+        assert_eq!(s.chars().count(), 8);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[7], '█');
+        // Monotone non-decreasing ramp.
+        let ranks: Vec<usize> = chars
+            .iter()
+            .map(|c| RAMP.iter().position(|r| r == c).unwrap())
+            .collect();
+        assert!(ranks.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn sparkline_edge_cases() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+        // Constant series: mid-height, no panic on zero span.
+        let s = sparkline(&[3.0; 16], 4);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.chars().all(|c| c == s.chars().next().unwrap()));
+        // Fewer values than width: one column per value.
+        assert_eq!(sparkline(&[1.0, 2.0], 10).chars().count(), 2);
+    }
+
+    #[test]
+    fn bar_fills_proportionally() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████░░░░░");
+        assert_eq!(bar(0.0, 10.0, 4), "░░░░");
+        assert_eq!(bar(20.0, 10.0, 4), "████"); // Clamped.
+        assert_eq!(bar(1.0, 0.0, 4), "");
+    }
+}

@@ -1,0 +1,1134 @@
+//! The MEMTIS tiering policy (§3–§4).
+//!
+//! `ksampled` work happens in [`MemtisPolicy::on_access`] (sample
+//! processing, histogram updates, threshold adaptation, cooling triggers,
+//! split-benefit estimation), `kmigrated` work in [`MemtisPolicy::tick`]
+//! (promotion, demotion, huge-page split/collapse). Both are charged to the
+//! background-daemon cost sink — nothing MEMTIS does extends the
+//! application's critical path, which is the property the driver's cost
+//! model rewards.
+
+use crate::config::MemtisConfig;
+use crate::histogram::{bin_of, AccessHistogram, MAX_BIN};
+use crate::meta::{subpage_hotness, PageMeta, SubMeta};
+use crate::threshold::{adapt, Thresholds};
+use memtis_sim::prelude::{
+    Access, AccessOutcome, DetHashMap, PageSize, PolicyDescriptor, PolicyOps, SimError,
+    TieringPolicy, TierId, VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES,
+};
+use memtis_tracking::pebs::{PebsSampler, PeriodController};
+use std::collections::VecDeque;
+
+/// CPU cost of one threshold adaptation (ns).
+const ADAPT_NS: f64 = 500.0;
+/// CPU cost per 4 KiB page-equivalent visited during cooling (ns).
+const COOL_PAGE_NS: f64 = 2.0;
+/// Number of log2 buckets for the skewness selection array.
+const SKEW_BUCKETS: usize = 48;
+
+/// Counters and series exposed for the evaluation harness.
+#[derive(Debug, Default, Clone)]
+pub struct MemtisStats {
+    /// PEBS samples processed.
+    pub samples: u64,
+    /// Threshold adaptations performed.
+    pub adaptations: u64,
+    /// Cooling passes performed.
+    pub coolings: u64,
+    /// Split-benefit estimations performed.
+    pub estimates: u64,
+    /// Huge pages split.
+    pub splits: u64,
+    /// Huge pages collapsed.
+    pub collapses: u64,
+    /// 4 KiB pages promoted.
+    pub promoted_4k: u64,
+    /// 4 KiB pages demoted.
+    pub demoted_4k: u64,
+    /// Most recent measured fast-tier hit ratio (rHR, §4.3.1).
+    pub last_rhr: f64,
+    /// Most recent estimated base-page-only hit ratio (eHR).
+    pub last_ehr: f64,
+    /// `(now_ns, rHR, eHR)` per estimation window.
+    pub hr_series: Vec<(f64, f64, f64)>,
+    /// `(now_ns, load_period)` per controller decision.
+    pub period_series: Vec<(f64, u64)>,
+    /// Smoothed `ksampled` CPU usage (fraction of one core).
+    pub cpu_usage_ema: f64,
+    /// Split candidates bucketed at the most recent cooling.
+    pub split_candidates: u64,
+    /// Total splits requested by the benefit estimator (sum of Ns).
+    pub split_requested: u64,
+    /// Pages whose hotness was supplemented by the hybrid PT scan (§8
+    /// extension).
+    pub scan_supplements: u64,
+}
+
+/// The MEMTIS policy.
+pub struct MemtisPolicy {
+    cfg: MemtisConfig,
+    pages: DetHashMap<VirtPage, PageMeta>,
+    page_hist: AccessHistogram,
+    base_hist: AccessHistogram,
+    thr: Thresholds,
+    base_thr: Thresholds,
+    sampler: PebsSampler,
+    controller: PeriodController,
+    // Event-count clocks.
+    since_adapt: u64,
+    since_cool: u64,
+    since_control: u64,
+    last_control_ns: f64,
+    window_cpu_ns: f64,
+    // Benefit-estimation window (§4.3.1).
+    win_samples: u64,
+    win_fast: u64,
+    win_ehr_hits: u64,
+    win_hp_samples: u64,
+    win_hp_distinct: u64,
+    epoch: u32,
+    // Work queues.
+    promo: VecDeque<VirtPage>,
+    demote_cold: VecDeque<VirtPage>,
+    demote_warm: VecDeque<VirtPage>,
+    split_queue: VecDeque<VirtPage>,
+    collapse_queue: VecDeque<VirtPage>,
+    skew_buckets: Vec<Vec<VirtPage>>,
+    benefit_streak: u32,
+    ticks_since_refill: u32,
+    tick_count: u32,
+    /// Public statistics.
+    pub stats: MemtisStats,
+}
+
+impl MemtisPolicy {
+    /// Creates the policy with the given configuration.
+    pub fn new(cfg: MemtisConfig) -> Self {
+        let sampler = PebsSampler::new(cfg.load_period, cfg.store_period);
+        let controller =
+            PeriodController::with_limits(cfg.cpu_limit, (cfg.load_period / 4).max(1), 1_000_000);
+        MemtisPolicy {
+            cfg,
+            pages: DetHashMap::default(),
+            page_hist: AccessHistogram::new(),
+            base_hist: AccessHistogram::new(),
+            thr: Thresholds::default(),
+            base_thr: Thresholds::default(),
+            sampler,
+            controller,
+            since_adapt: 0,
+            since_cool: 0,
+            since_control: 0,
+            last_control_ns: 0.0,
+            window_cpu_ns: 0.0,
+            win_samples: 0,
+            win_fast: 0,
+            win_ehr_hits: 0,
+            win_hp_samples: 0,
+            win_hp_distinct: 0,
+            epoch: 1,
+            promo: VecDeque::new(),
+            demote_cold: VecDeque::new(),
+            demote_warm: VecDeque::new(),
+            split_queue: VecDeque::new(),
+            collapse_queue: VecDeque::new(),
+            skew_buckets: vec![Vec::new(); SKEW_BUCKETS],
+            benefit_streak: 0,
+            ticks_since_refill: u32::MAX / 2,
+            tick_count: 0,
+            stats: MemtisStats::default(),
+        }
+    }
+
+    /// Current thresholds over the page access histogram.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thr
+    }
+
+    /// Current thresholds over the emulated base-page histogram.
+    pub fn base_thresholds(&self) -> Thresholds {
+        self.base_thr
+    }
+
+    /// The page access histogram.
+    pub fn histogram(&self) -> &AccessHistogram {
+        &self.page_hist
+    }
+
+    /// The emulated base-page histogram.
+    pub fn base_histogram(&self) -> &AccessHistogram {
+        &self.base_hist
+    }
+
+    /// Current PEBS load period (after dynamic adjustment).
+    pub fn load_period(&self) -> u64 {
+        self.sampler.load_period()
+    }
+
+    /// Metadata view for tests and analysis tools.
+    pub fn page_meta(&self, vpage: VirtPage) -> Option<&PageMeta> {
+        self.pages.get(&vpage)
+    }
+
+    /// Iterates all tracked pages (analysis tools, Fig. 3 scatter).
+    pub fn pages_iter(&self) -> impl Iterator<Item = (&VirtPage, &PageMeta)> {
+        self.pages.iter()
+    }
+
+    fn initial_count(&self, size: PageSize) -> u64 {
+        // "Initial hotness for newly allocated pages is set to the current
+        // hotness threshold (T_hot)" — §4.2.1.
+        let bin = self.thr.hot.min(MAX_BIN);
+        match size {
+            PageSize::Huge => 1u64 << bin,
+            PageSize::Base => 1u64 << (bin.saturating_sub(9)),
+        }
+    }
+
+    fn remove_from_hists(&mut self, meta: &PageMeta) {
+        self.page_hist
+            .remove(meta.bin as usize, meta.pages_4k());
+        match &meta.sub {
+            Some(sub) => {
+                for &b in sub.bins.iter() {
+                    self.base_hist.remove(b as usize, 1);
+                }
+            }
+            None => self.base_hist.remove(meta.bin as usize, 1),
+        }
+    }
+
+    fn add_to_hists(&mut self, meta: &PageMeta) {
+        self.page_hist.add(meta.bin as usize, meta.pages_4k());
+        match &meta.sub {
+            Some(sub) => {
+                for &b in sub.bins.iter() {
+                    self.base_hist.add(b as usize, 1);
+                }
+            }
+            None => self.base_hist.add(meta.bin as usize, 1),
+        }
+    }
+
+    fn run_adaptation(&mut self, ops: &mut PolicyOps<'_>) {
+        let fast = ops.capacity_bytes(TierId::FAST);
+        self.thr = adapt(&self.page_hist, fast, self.cfg.alpha, self.cfg.warm_set);
+        self.base_thr = adapt(&self.base_hist, fast, self.cfg.alpha, true);
+        ops.charge(ADAPT_NS);
+        self.window_cpu_ns += ADAPT_NS;
+        self.stats.adaptations += 1;
+    }
+
+    /// Periodic histogram cooling (§4.2.2): halve every count, shift both
+    /// histograms one bin left, correct stragglers, and rebuild the
+    /// demotion lists, skewness buckets, and collapse candidates.
+    fn run_cooling(&mut self, ops: &mut PolicyOps<'_>) {
+        self.page_hist.cool();
+        self.base_hist.cool();
+        self.demote_cold.clear();
+        self.demote_warm.clear();
+        for b in &mut self.skew_buckets {
+            b.clear();
+        }
+        self.collapse_queue.clear();
+
+        let mut visited_4k = 0u64;
+        // Collapse detection: per huge-aligned group of base pages, count
+        // (hot, total, resident-in-fast).
+        let mut groups: DetHashMap<VirtPage, (u16, u16, bool)> = DetHashMap::default();
+
+        let keys: Vec<VirtPage> = self.pages.keys().copied().collect();
+        for vpage in keys {
+            let meta = self.pages.get_mut(&vpage).expect("key just listed");
+            visited_4k += meta.pages_4k();
+            // Halve the count; the histogram shift already assumed the bin
+            // dropped by exactly one, so correct any page whose halved
+            // hotness lands elsewhere (top bin, or collapse to zero).
+            meta.count /= 2;
+            let assumed = (meta.bin as usize).saturating_sub(1);
+            let hotness = meta.hotness();
+            let actual = bin_of(hotness);
+            meta.bin = actual as u8;
+            let pages_4k = meta.pages_4k();
+            let is_huge = meta.size == PageSize::Huge;
+            // Subpage cooling with the same correction on the base hist.
+            let mut sub_moves: Vec<(usize, usize)> = Vec::new();
+            if let Some(sub) = meta.sub.as_mut() {
+                for j in 0..NR_SUBPAGES as usize {
+                    sub.counts[j] /= 2;
+                    let a = (sub.bins[j] as usize).saturating_sub(1);
+                    let n = bin_of(subpage_hotness(sub.counts[j]));
+                    sub.bins[j] = n as u8;
+                    if a != n {
+                        sub_moves.push((a, n));
+                    }
+                }
+            }
+            let base_move = if meta.sub.is_none() {
+                let a = assumed;
+                (a != actual).then_some((a, actual))
+            } else {
+                None
+            };
+            let bin_now = meta.bin as usize;
+            let _ = meta;
+
+            if assumed != actual {
+                self.page_hist.move_pages(assumed, actual, pages_4k);
+            }
+            for (a, n) in sub_moves {
+                self.base_hist.move_pages(a, n, 1);
+            }
+            if let Some((a, n)) = base_move {
+                self.base_hist.move_pages(a, n, 1);
+            }
+
+            // Classify for the demotion lists (fast-tier residents only).
+            let in_fast = matches!(ops.locate(vpage), Some((t, _)) if t == TierId::FAST);
+            if in_fast {
+                if self.thr.is_cold(bin_now) {
+                    self.demote_cold.push_back(vpage);
+                } else if self.thr.is_warm(bin_now) {
+                    self.demote_warm.push_back(vpage);
+                }
+            }
+
+            // Skewness buckets for split candidate selection (§4.3.2).
+            // Only *genuinely* skewed pages are candidates: few hot
+            // subpages relative to the touched set, with the hottest
+            // subpage far above the mean. Splitting a uniformly hot huge
+            // page (or one whose subpage-count variation is sampling
+            // noise) would sacrifice TLB reach for no fast-tier savings.
+            if self.cfg.split && is_huge {
+                let meta = self.pages.get(&vpage).expect("still present");
+                // Any huge page with persistent subpage skew qualifies; a
+                // page that looks lukewarm at 2 MiB granularity may hold a
+                // very hot record — that is precisely the Silo pattern.
+                if let Some(p) = meta.skew_profile(self.base_thr.hot) {
+                    if p.is_genuinely_skewed() {
+                        let bucket =
+                            (p.skewness.max(1.0).log2() as usize).min(SKEW_BUCKETS - 1);
+                        self.skew_buckets[bucket].push(vpage);
+                    }
+                }
+            }
+
+            // Collapse candidacy bookkeeping (hot base pages only).
+            if self.cfg.collapse && !is_huge {
+                let hot = self.thr.is_hot(bin_now);
+                let e = groups
+                    .entry(vpage.huge_aligned())
+                    .or_insert((0, 0, true));
+                e.1 += 1;
+                if hot {
+                    e.0 += 1;
+                }
+                e.2 &= in_fast;
+            }
+        }
+
+        if self.cfg.collapse {
+            for (group, (hot, total, all_fast)) in groups {
+                if total as u64 == NR_SUBPAGES && hot == total && all_fast {
+                    self.collapse_queue.push_back(group);
+                }
+            }
+        }
+
+        self.stats.split_candidates = self.skew_buckets.iter().map(|b| b.len() as u64).sum();
+        // The page-list walk is kmigrated work (§4.2.2): it consumes daemon
+        // CPU but does not count against ksampled's sampling budget.
+        ops.charge(visited_4k as f64 * COOL_PAGE_NS);
+        self.stats.coolings += 1;
+        // Thresholds shift with the histogram (§4.2.2).
+        self.run_adaptation(ops);
+    }
+
+    /// Split-benefit estimation (§4.3.1) and candidate selection (§4.3.2).
+    fn run_estimation(&mut self, ops: &mut PolicyOps<'_>) {
+        let samples = self.win_samples.max(1);
+        let rhr = self.win_fast as f64 / samples as f64;
+        let ehr = self.win_ehr_hits as f64 / samples as f64;
+        self.stats.last_rhr = rhr;
+        self.stats.last_ehr = ehr;
+        self.stats.hr_series.push((ops.now_ns(), rhr, ehr));
+        self.stats.estimates += 1;
+
+        if ehr - rhr >= self.cfg.split_benefit_min {
+            self.benefit_streak += 1;
+        } else {
+            self.benefit_streak = 0;
+        }
+        // Split only on a sustained benefit ("long-term, stable memory
+        // access trends", §4.3.1), never on a transient fill-phase gap.
+        if self.cfg.split && self.benefit_streak >= self.cfg.estimate_streak {
+            let cfg = ops.machine().config();
+            let dl = cfg.latency_gap_ns();
+            let l_fast = cfg.tier(TierId::FAST).load_ns;
+            let avg_samples_hp =
+                (self.win_hp_samples as f64 / self.win_hp_distinct.max(1) as f64).max(1.0);
+            // Eq. 2: Ns = min((eHR − rHR) · (ΔL / L_fast) · (samples · β /
+            // avg), samples / avg).
+            let ns = ((ehr - rhr) * (dl / l_fast) * (samples as f64 * self.cfg.beta)
+                / avg_samples_hp)
+                .min(samples as f64 / avg_samples_hp)
+                .floor() as usize;
+            self.stats.split_requested += ns as u64;
+            self.queue_top_skewed(ns);
+        }
+
+        self.win_samples = 0;
+        self.win_fast = 0;
+        self.win_ehr_hits = 0;
+        self.win_hp_samples = 0;
+        self.win_hp_distinct = 0;
+        self.epoch = self.epoch.wrapping_add(1).max(1);
+    }
+
+    /// Picks the top-`n` most skewed huge pages from the bucket array built
+    /// during the last cooling pass.
+    fn queue_top_skewed(&mut self, n: usize) {
+        let mut left = n;
+        for bucket in self.skew_buckets.iter_mut().rev() {
+            while left > 0 {
+                let Some(vpage) = bucket.pop() else { break };
+                self.split_queue.push_back(vpage);
+                left -= 1;
+            }
+            if left == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Splinters one huge page: page-table split, zero-subpage reclaim, and
+    /// metadata redistribution; hot subpages head for the fast tier, cold
+    /// ones for the capacity tier (§4.3.3).
+    fn do_split(&mut self, ops: &mut PolicyOps<'_>, vpage: VirtPage) -> bool {
+        // Validate: still huge-mapped and tracked.
+        let Some((tier, PageSize::Huge)) = ops.locate(vpage) else {
+            return false;
+        };
+        let Some(meta) = self.pages.get(&vpage) else {
+            return false;
+        };
+        if meta.size != PageSize::Huge {
+            return false;
+        }
+        // Which subpages survive the split (never-written ones are freed).
+        let written: Vec<bool> = match ops.machine().huge_entry(vpage) {
+            Some(h) => (0..NR_SUBPAGES as usize).map(|i| h.subpage_written(i)).collect(),
+            None => return false,
+        };
+        let meta = self.pages.remove(&vpage).expect("checked above");
+        self.remove_from_hists(&meta);
+        if ops.split_huge(vpage, true).is_err() {
+            // Should not happen after validation; drop metadata consistently.
+            return false;
+        }
+        let sub = meta.sub.as_deref().cloned().unwrap_or_default();
+        for (j, &w) in written.iter().enumerate() {
+            if !w {
+                continue;
+            }
+            let child = vpage.add(j as u64);
+            let count = sub.counts[j] as u64;
+            let new_meta = PageMeta::new_base(count);
+            let bin = new_meta.bin as usize;
+            self.page_hist.add(bin, 1);
+            self.base_hist.add(bin, 1);
+            if self.thr.is_hot(bin) && tier != TierId::FAST {
+                self.promo.push_back(child);
+            } else if tier == TierId::FAST && self.thr.is_cold(bin) {
+                self.demote_cold.push_back(child);
+            }
+            self.pages.insert(child, new_meta);
+        }
+        self.stats.splits += 1;
+        true
+    }
+
+    /// Collapses 512 all-hot, fast-tier base pages back into one huge page.
+    fn do_collapse(&mut self, ops: &mut PolicyOps<'_>, group: VirtPage) -> bool {
+        // Re-validate: all subpages still base-mapped in the fast tier, hot.
+        for j in 0..NR_SUBPAGES {
+            let child = group.add(j);
+            match (ops.locate(child), self.pages.get(&child)) {
+                (Some((TierId::FAST, PageSize::Base)), Some(m))
+                    if self.thr.is_hot(m.bin as usize) => {}
+                _ => return false,
+            }
+        }
+        if ops.collapse_huge(group, TierId::FAST).is_err() {
+            return false;
+        }
+        let mut sub = Box::<SubMeta>::default();
+        let mut total = 0u64;
+        for j in 0..NR_SUBPAGES as usize {
+            let child = group.add(j as u64);
+            let m = self.pages.remove(&child).expect("validated above");
+            self.remove_from_hists(&m);
+            sub.counts[j] = m.count.min(u32::MAX as u64) as u32;
+            sub.bins[j] = bin_of(subpage_hotness(sub.counts[j])) as u8;
+            total += m.count;
+        }
+        let meta = PageMeta {
+            size: PageSize::Huge,
+            count: total,
+            bin: bin_of(total) as u8,
+            sub: Some(sub),
+            epoch: 0,
+            in_promo: false,
+        };
+        self.add_to_hists(&meta);
+        self.pages.insert(group, meta);
+        self.stats.collapses += 1;
+        true
+    }
+
+    /// Refills the demotion candidate lists by walking the page metadata
+    /// (normally they are rebuilt at each cooling; `kmigrated` re-scans the
+    /// page lists when it needs victims sooner).
+    fn refill_demote_lists(&mut self, ops: &mut PolicyOps<'_>) {
+        let mut cold = Vec::new();
+        let mut warm = Vec::new();
+        for (&vpage, meta) in &self.pages {
+            let bin = meta.bin as usize;
+            if self.thr.is_hot(bin) {
+                continue;
+            }
+            if !matches!(ops.locate(vpage), Some((TierId::FAST, _))) {
+                continue;
+            }
+            if self.thr.is_cold(bin) {
+                cold.push(vpage);
+            } else {
+                warm.push(vpage);
+            }
+        }
+        ops.charge(self.pages.len() as f64 * COOL_PAGE_NS);
+        self.demote_cold = cold.into();
+        self.demote_warm = warm.into();
+    }
+
+    /// §8 extension: a light page-table scan gives unsampled-but-accessed
+    /// pages a minimal hotness so demotion distinguishes "rarely accessed"
+    /// from "never accessed" — the blind spot of pure sampling.
+    fn hybrid_scan(&mut self, ops: &mut PolicyOps<'_>) {
+        let mut touched: Vec<VirtPage> = Vec::new();
+        memtis_tracking::ptscan::scan_and_clear(ops, |rec| {
+            if rec.accessed {
+                touched.push(match rec.size {
+                    PageSize::Huge => rec.vpage.huge_aligned(),
+                    PageSize::Base => rec.vpage,
+                });
+            }
+        });
+        for vpage in touched {
+            let Some(meta) = self.pages.get_mut(&vpage) else { continue };
+            if meta.count > 0 {
+                continue; // Sampling already sees it.
+            }
+            meta.count = 1;
+            let old = meta.bin as usize;
+            let new = bin_of(meta.hotness());
+            meta.bin = new as u8;
+            let pages_4k = meta.pages_4k();
+            let is_base = meta.sub.is_none();
+            self.page_hist.move_pages(old, new, pages_4k);
+            if is_base {
+                self.base_hist.move_pages(old, new, 1);
+            }
+            self.stats.scan_supplements += 1;
+        }
+    }
+
+    /// Demotes pages (cold first, then warm) until the fast tier regains its
+    /// free-space reserve or the budget runs out. Returns bytes migrated.
+    fn demote_for_space(&mut self, ops: &mut PolicyOps<'_>, need_bytes: u64, budget: u64) -> u64 {
+        let mut moved = 0u64;
+        let mut use_warm = false;
+        loop {
+            if ops.free_bytes(TierId::FAST) >= need_bytes || moved >= budget {
+                break;
+            }
+            let candidate = if !use_warm {
+                match self.demote_cold.pop_front() {
+                    Some(v) => Some((v, true)),
+                    None => {
+                        use_warm = true;
+                        continue;
+                    }
+                }
+            } else {
+                self.demote_warm.pop_front().map(|v| (v, false))
+            };
+            let Some((vpage, want_cold)) = candidate else { break };
+            // Validate the (possibly stale) queue entry.
+            let Some(meta) = self.pages.get(&vpage) else { continue };
+            let bin = meta.bin as usize;
+            let ok_class = if want_cold {
+                self.thr.is_cold(bin)
+            } else {
+                !self.thr.is_hot(bin)
+            };
+            if !ok_class {
+                continue;
+            }
+            match ops.locate(vpage) {
+                Some((TierId::FAST, size)) if size == meta.size => {}
+                _ => continue,
+            }
+            match ops.migrate(vpage, TierId::CAPACITY) {
+                Ok(_) => {
+                    moved += meta_size_bytes(meta);
+                    self.stats.demoted_4k += meta.pages_4k();
+                }
+                Err(SimError::OutOfMemory { .. }) => break,
+                Err(_) => continue,
+            }
+        }
+        moved
+    }
+}
+
+fn meta_size_bytes(meta: &PageMeta) -> u64 {
+    meta.size.bytes()
+}
+
+impl TieringPolicy for MemtisPolicy {
+    fn descriptor(&self) -> PolicyDescriptor {
+        PolicyDescriptor {
+            name: "MEMTIS",
+            mechanism: "HW-based sampling",
+            subpage_tracking: true,
+            promotion_metric: "EMA of access frequency",
+            demotion_metric: "EMA of access frequency",
+            thresholding: "Memory access distribution",
+            critical_path_migration: "None",
+            page_size_handling: "Split based on access skew",
+        }
+    }
+
+    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, _tier: TierId) {
+        let count = self.initial_count(size);
+        let meta = match size {
+            PageSize::Huge => PageMeta::new_huge(count),
+            PageSize::Base => PageMeta::new_base(count),
+        };
+        self.add_to_hists(&meta);
+        if let Some(old) = self.pages.insert(vpage, meta) {
+            // Re-mapped over stale tracking (e.g. region reuse): drop it.
+            self.remove_from_hists(&old);
+        }
+    }
+
+    fn on_free(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, _size: PageSize) {
+        if let Some(meta) = self.pages.remove(&vpage) {
+            self.remove_from_hists(&meta);
+        }
+    }
+
+    fn on_access(&mut self, ops: &mut PolicyOps<'_>, access: &Access, outcome: &AccessOutcome) {
+        let Some(sample) = self.sampler.observe(access, outcome) else {
+            return;
+        };
+        ops.charge(self.cfg.sample_cost_ns);
+        self.window_cpu_ns += self.cfg.sample_cost_ns;
+        self.stats.samples += 1;
+
+        let vpage = sample.vaddr.base_page();
+        let (key, is_huge) = match outcome.page_size {
+            PageSize::Huge => (vpage.huge_aligned(), true),
+            PageSize::Base => (vpage, false),
+        };
+        if let Some(meta) = self.pages.get_mut(&key) {
+            meta.count += 1;
+            let old_bin = meta.bin as usize;
+            let new_bin = bin_of(meta.hotness());
+            meta.bin = new_bin as u8;
+            let pages_4k = meta.pages_4k();
+
+            let mut base_move: Option<(usize, usize)> = None;
+            if is_huge {
+                if let Some(sub) = meta.sub.as_mut() {
+                    let j = vpage.subpage_index();
+                    sub.counts[j] = sub.counts[j].saturating_add(1);
+                    let nb = bin_of(subpage_hotness(sub.counts[j]));
+                    let ob = sub.bins[j] as usize;
+                    sub.bins[j] = nb as u8;
+                    if ob != nb {
+                        base_move = Some((ob, nb));
+                    }
+                }
+            } else if old_bin != new_bin {
+                base_move = Some((old_bin, new_bin));
+            }
+            // eHR: would this 4 KiB page hit if only base pages were used?
+            let sampled_base_bin = if is_huge {
+                meta.sub.as_ref().map(|s| s.bins[vpage.subpage_index()] as usize)
+            } else {
+                Some(new_bin)
+            };
+            self.page_hist.move_pages(old_bin, new_bin, pages_4k);
+            if let Some((a, b)) = base_move {
+                self.base_hist.move_pages(a, b, 1);
+            }
+            if let Some(bb) = sampled_base_bin {
+                if bb >= self.base_thr.hot {
+                    self.win_ehr_hits += 1;
+                }
+            }
+            // Promotion candidates: hot pages currently in the capacity tier.
+            let meta = self.pages.get_mut(&key).expect("present");
+            if self.thr.is_hot(new_bin) && outcome.tier != TierId::FAST && !meta.in_promo {
+                meta.in_promo = true;
+                self.promo.push_back(key);
+            }
+            if is_huge {
+                self.win_hp_samples += 1;
+                let meta = self.pages.get_mut(&key).expect("present");
+                if meta.epoch != self.epoch {
+                    meta.epoch = self.epoch;
+                    self.win_hp_distinct += 1;
+                }
+            }
+        }
+
+        // rHR: did the sampled access land in the fast tier? (§4.3.1)
+        self.win_samples += 1;
+        if outcome.tier == TierId::FAST {
+            self.win_fast += 1;
+        }
+
+        // Event-count clocks.
+        self.since_adapt += 1;
+        self.since_cool += 1;
+        self.since_control += 1;
+
+        if self.since_adapt >= self.cfg.adapt_interval {
+            self.since_adapt = 0;
+            self.run_adaptation(ops);
+        }
+        if self.since_cool >= self.cfg.cooling_interval {
+            self.since_cool = 0;
+            self.run_cooling(ops);
+        }
+        // Benefit estimation once enough records accumulated: a quarter of
+        // the allocated pages, floored for small runs (§4.3.1).
+        let rss_pages = ops.machine().rss_bytes() / 4096;
+        let trigger =
+            (rss_pages / self.cfg.estimate_rss_divisor.max(1)).max(self.cfg.min_estimate_samples);
+        if self.win_samples >= trigger {
+            self.run_estimation(ops);
+        }
+        // Dynamic period control (§4.1.1).
+        if self.since_control >= self.cfg.control_interval {
+            self.since_control = 0;
+            let now = ops.now_ns();
+            let elapsed = now - self.last_control_ns;
+            if elapsed > 0.0 {
+                let usage = self.window_cpu_ns / elapsed;
+                self.controller.update(usage, &mut self.sampler);
+                self.stats.cpu_usage_ema = self.controller.usage_ema();
+                self.stats
+                    .period_series
+                    .push((now, self.sampler.load_period()));
+            }
+            self.last_control_ns = now;
+            self.window_cpu_ns = 0.0;
+        }
+    }
+
+    fn tick(&mut self, ops: &mut PolicyOps<'_>) {
+        self.tick_count = self.tick_count.wrapping_add(1);
+        if self.cfg.hybrid_scan_every_ticks > 0
+            && self.tick_count % self.cfg.hybrid_scan_every_ticks == 0
+        {
+            self.hybrid_scan(ops);
+        }
+        let mut budget = self.cfg.migrate_batch_bytes;
+
+        // Fast-tier kmigrated: restore the free-space reserve (§4.2.3).
+        let reserve =
+            (ops.capacity_bytes(TierId::FAST) as f64 * self.cfg.free_reserve_frac) as u64;
+        let need_space = ops.free_bytes(TierId::FAST) < reserve
+            || self
+                .promo
+                .front()
+                .is_some_and(|_| ops.free_bytes(TierId::FAST) < HUGE_PAGE_SIZE);
+        self.ticks_since_refill = self.ticks_since_refill.saturating_add(1);
+        if need_space
+            && self.demote_cold.is_empty()
+            && self.demote_warm.is_empty()
+            && self.ticks_since_refill >= 8
+        {
+            // Rate-limited: the page-list walk is O(pages) and kmigrated
+            // would not rescan on every wakeup.
+            self.ticks_since_refill = 0;
+            self.refill_demote_lists(ops);
+        }
+        if ops.free_bytes(TierId::FAST) < reserve {
+            let moved = self.demote_for_space(ops, reserve, budget);
+            budget = budget.saturating_sub(moved);
+        }
+
+        // Page-size daemon: splits, then conservative collapses.
+        for _ in 0..self.cfg.max_splits_per_tick {
+            let Some(vpage) = self.split_queue.pop_front() else { break };
+            self.do_split(ops, vpage);
+        }
+        for _ in 0..self.cfg.max_collapses_per_tick {
+            let Some(group) = self.collapse_queue.pop_front() else { break };
+            self.do_collapse(ops, group);
+        }
+
+        // Capacity-tier kmigrated: promote hot pages while space remains.
+        while budget > 0 {
+            let Some(vpage) = self.promo.pop_front() else { break };
+            let Some(meta) = self.pages.get_mut(&vpage) else { continue };
+            meta.in_promo = false;
+            let bin = meta.bin as usize;
+            let size = meta.size;
+            if !self.thr.is_hot(bin) {
+                continue;
+            }
+            match ops.locate(vpage) {
+                Some((t, s)) if t != TierId::FAST && s == size => {}
+                _ => continue,
+            }
+            // Make room if needed (demote cold, then warm).
+            if ops.free_bytes(TierId::FAST) < size.bytes() {
+                let moved =
+                    self.demote_for_space(ops, size.bytes().max(reserve), budget);
+                budget = budget.saturating_sub(moved);
+                if ops.free_bytes(TierId::FAST) < size.bytes() {
+                    // Could not secure space: re-queue and stop promoting.
+                    let meta = self.pages.get_mut(&vpage).expect("present");
+                    meta.in_promo = true;
+                    self.promo.push_front(vpage);
+                    break;
+                }
+            }
+            match ops.migrate(vpage, TierId::FAST) {
+                Ok(_) => {
+                    let pages = match size {
+                        PageSize::Huge => NR_SUBPAGES,
+                        PageSize::Base => 1,
+                    };
+                    self.stats.promoted_4k += pages;
+                    budget = budget.saturating_sub(size.bytes());
+                }
+                Err(SimError::OutOfMemory { .. }) => {
+                    let meta = self.pages.get_mut(&vpage).expect("present");
+                    meta.in_promo = true;
+                    self.promo.push_front(vpage);
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    fn timeline(&self, out: &mut Vec<(&'static str, f64)>) {
+        let hot = self.page_hist.bytes_at_or_above(self.thr.hot);
+        let warm = self
+            .page_hist
+            .bytes_at_or_above(self.thr.warm)
+            .saturating_sub(hot);
+        let total = self.page_hist.total_pages() * 4096;
+        let cold = total.saturating_sub(hot + warm);
+        out.push(("hot_bytes", hot as f64));
+        out.push(("warm_bytes", warm as f64));
+        out.push(("cold_bytes", cold as f64));
+        out.push(("rhr", self.stats.last_rhr));
+        out.push(("ehr", self.stats.last_ehr));
+        out.push(("splits", self.stats.splits as f64));
+        out.push(("load_period", self.sampler.load_period() as f64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtis_sim::prelude::*;
+
+    fn test_cfg() -> MemtisConfig {
+        MemtisConfig {
+            load_period: 1,
+            store_period: 1,
+            adapt_interval: 200,
+            cooling_interval: 4_000,
+            min_estimate_samples: 500,
+            control_interval: 1_000,
+            sample_cost_ns: 1.0,
+            migrate_batch_bytes: 64 << 20,
+            ..MemtisConfig::sim_scaled()
+        }
+    }
+
+    fn ops_env() -> (Machine, CostAccounting) {
+        let m = Machine::new(MachineConfig::dram_nvm(
+            4 * HUGE_PAGE_SIZE,
+            32 * HUGE_PAGE_SIZE,
+        ));
+        (m, CostAccounting::default())
+    }
+
+    #[test]
+    fn alloc_and_free_keep_histograms_consistent() {
+        let (mut m, mut acct) = ops_env();
+        let mut p = MemtisPolicy::new(test_cfg());
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+            .unwrap();
+        m.alloc_and_map(VirtPage(512), PageSize::Base, TierId::FAST)
+            .unwrap();
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+            p.on_alloc(&mut ops, VirtPage(0), PageSize::Huge, TierId::FAST);
+            p.on_alloc(&mut ops, VirtPage(512), PageSize::Base, TierId::FAST);
+        }
+        assert_eq!(p.histogram().total_pages(), 513);
+        assert_eq!(p.base_histogram().total_pages(), 513);
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+            p.on_free(&mut ops, VirtPage(0), PageSize::Huge);
+        }
+        assert_eq!(p.histogram().total_pages(), 1);
+        assert_eq!(p.base_histogram().total_pages(), 1);
+    }
+
+    #[test]
+    fn samples_move_pages_up_the_histogram() {
+        let (mut m, mut acct) = ops_env();
+        let mut p = MemtisPolicy::new(test_cfg());
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::CAPACITY)
+            .unwrap();
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+            p.on_alloc(&mut ops, VirtPage(0), PageSize::Huge, TierId::CAPACITY);
+        }
+        let bin0 = p.page_meta(VirtPage(0)).unwrap().bin;
+        for i in 0..100u64 {
+            let a = Access::load((i % 512) * 4096);
+            let out = m.access(a).unwrap();
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, i as f64);
+            p.on_access(&mut ops, &a, &out);
+        }
+        let meta = p.page_meta(VirtPage(0)).unwrap();
+        assert!(meta.count >= 50, "count {}", meta.count);
+        assert!(meta.bin >= bin0);
+        // Subpage counters track which 4 KiB pages were touched.
+        let sub = meta.sub.as_ref().unwrap();
+        assert!(sub.counts.iter().filter(|&&c| c > 0).count() > 50);
+        // Hot capacity-tier page lands on the promotion list.
+        assert!(p.promo.iter().any(|&v| v == VirtPage(0)) || meta.in_promo);
+    }
+
+    #[test]
+    fn tick_promotes_hot_capacity_pages() {
+        let (mut m, mut acct) = ops_env();
+        let mut p = MemtisPolicy::new(test_cfg());
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::CAPACITY)
+            .unwrap();
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+            p.on_alloc(&mut ops, VirtPage(0), PageSize::Huge, TierId::CAPACITY);
+        }
+        for i in 0..400u64 {
+            let a = Access::load((i % 512) * 4096);
+            let out = m.access(a).unwrap();
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, i as f64 * 100.0);
+            p.on_access(&mut ops, &a, &out);
+        }
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 1e6);
+            p.tick(&mut ops);
+        }
+        assert_eq!(m.locate(VirtPage(0)), Some((TierId::FAST, PageSize::Huge)));
+        assert!(p.stats.promoted_4k >= 512);
+    }
+
+    #[test]
+    fn cooling_halves_counts_and_corrects_bins() {
+        let (mut m, mut acct) = ops_env();
+        let mut cfg = test_cfg();
+        cfg.cooling_interval = 1_000_000; // Trigger manually.
+        let mut p = MemtisPolicy::new(cfg);
+        m.alloc_and_map(VirtPage(0), PageSize::Base, TierId::FAST)
+            .unwrap();
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+            p.on_alloc(&mut ops, VirtPage(0), PageSize::Base, TierId::FAST);
+        }
+        for i in 0..64u64 {
+            let a = Access::load(0);
+            let out = m.access(a).unwrap();
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, i as f64);
+            p.on_access(&mut ops, &a, &out);
+        }
+        let before = p.page_meta(VirtPage(0)).unwrap().count;
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 1e5);
+            p.run_cooling(&mut ops);
+        }
+        let meta = p.page_meta(VirtPage(0)).unwrap();
+        assert_eq!(meta.count, before / 2);
+        assert_eq!(meta.bin as usize, bin_of(meta.hotness()));
+        assert_eq!(p.histogram().total_pages(), 1);
+        assert_eq!(p.stats.coolings, 1);
+    }
+
+    #[test]
+    fn skewed_huge_page_gets_split_and_bloat_reclaimed() {
+        let (mut m, mut acct) = ops_env();
+        let mut cfg = test_cfg();
+        cfg.min_estimate_samples = 1_000_000; // Drive estimation manually.
+        let mut p = MemtisPolicy::new(cfg);
+        // A skewed huge page in the capacity tier: only 8 subpages written
+        // and hammered; plus a dense hot huge page filling the fast tier.
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::CAPACITY)
+            .unwrap();
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+            p.on_alloc(&mut ops, VirtPage(0), PageSize::Huge, TierId::CAPACITY);
+        }
+        for i in 0..800u64 {
+            // Stores always qualify for PEBS sampling (retired stores),
+            // unlike loads which must miss the LLC. Concentrate most
+            // accesses on two subpages with a lightly-touched tail — a
+            // contrasting skew profile like a hot record in a hash page.
+            let sub = if i % 10 < 9 { 0 } else { 1 + (i % 7) };
+            let a = Access::store(sub * 4096 + (i * 64) % 4096);
+            let out = m.access(a).unwrap();
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, i as f64 * 50.0);
+            p.on_access(&mut ops, &a, &out);
+        }
+        // Build the skew buckets (cooling) and force a split of the page.
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 1e5);
+            p.run_cooling(&mut ops);
+        }
+        let skew_total: usize = p.skew_buckets.iter().map(Vec::len).sum();
+        assert!(skew_total >= 1, "skewed page should be bucketed");
+        p.queue_top_skewed(1);
+        let rss_before = m.rss_bytes();
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 2e5);
+            p.tick(&mut ops);
+        }
+        assert_eq!(p.stats.splits, 1);
+        // 504 never-written subpages reclaimed.
+        assert_eq!(m.rss_bytes(), rss_before - 504 * 4096);
+        // Hot survivors are tracked as base pages.
+        let meta = p.page_meta(VirtPage(0)).unwrap();
+        assert_eq!(meta.size, PageSize::Base);
+        assert_eq!(p.histogram().total_pages(), 8);
+        // And queued for promotion to the fast tier.
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 3e5);
+            p.tick(&mut ops);
+        }
+        assert_eq!(m.locate(VirtPage(0)), Some((TierId::FAST, PageSize::Base)));
+    }
+
+    #[test]
+    fn demotion_restores_free_reserve() {
+        let mut m = Machine::new(MachineConfig::dram_nvm(
+            2 * HUGE_PAGE_SIZE,
+            32 * HUGE_PAGE_SIZE,
+        ));
+        let mut acct = CostAccounting::default();
+        let mut p = MemtisPolicy::new(test_cfg());
+        // Fill the fast tier completely with two huge pages.
+        for i in 0..2u64 {
+            m.alloc_and_map(VirtPage(i * 512), PageSize::Huge, TierId::FAST)
+                .unwrap();
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+            p.on_alloc(&mut ops, VirtPage(i * 512), PageSize::Huge, TierId::FAST);
+        }
+        assert_eq!(m.free_bytes(TierId::FAST), 0);
+        // Cool twice so the untouched pages decay to cold bins and the
+        // demotion lists are rebuilt.
+        for c in 0..6 {
+            let mut ops =
+                PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, c as f64 * 1e5);
+            p.run_cooling(&mut ops);
+        }
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 1e6);
+            p.tick(&mut ops);
+        }
+        assert!(
+            m.free_bytes(TierId::FAST) >= HUGE_PAGE_SIZE,
+            "demotion should free at least one huge page"
+        );
+        assert!(p.stats.demoted_4k >= 512);
+    }
+
+    #[test]
+    fn descriptor_matches_table1_row() {
+        let p = MemtisPolicy::new(MemtisConfig::default());
+        let d = p.descriptor();
+        assert_eq!(d.name, "MEMTIS");
+        assert!(d.subpage_tracking);
+        assert_eq!(d.critical_path_migration, "None");
+    }
+}
+
+#[cfg(test)]
+mod hybrid_tests {
+    use super::*;
+    use memtis_sim::prelude::*;
+
+    /// §8 extension: the hybrid scan gives never-sampled-but-accessed pages
+    /// a minimal hotness, separating them from truly idle pages.
+    #[test]
+    fn hybrid_scan_supplements_unsampled_pages() {
+        let mut m = Machine::new(MachineConfig::dram_nvm(
+            4 * HUGE_PAGE_SIZE,
+            16 * HUGE_PAGE_SIZE,
+        ));
+        let mut acct = CostAccounting::default();
+        let cfg = MemtisConfig {
+            load_period: 1_000_000, // Sampling effectively off.
+            store_period: 1_000_000,
+            hybrid_scan_every_ticks: 1,
+            ..MemtisConfig::sim_scaled()
+        };
+        let mut p = MemtisPolicy::new(cfg);
+        for i in 0..2u64 {
+            m.alloc_and_map(VirtPage(i * 512), PageSize::Huge, TierId::FAST)
+                .unwrap();
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+            p.on_alloc(&mut ops, VirtPage(i * 512), PageSize::Huge, TierId::FAST);
+        }
+        // Cool until both pages decay to zero hotness.
+        for c in 0..4 {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, c as f64);
+            p.run_cooling(&mut ops);
+        }
+        assert_eq!(p.page_meta(VirtPage(0)).unwrap().count, 0);
+        // Touch only page 0; the sampler misses it (period 1M) but the
+        // hybrid scan catches the accessed bit.
+        m.access(Access::load(0)).unwrap();
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 10.0);
+            p.tick(&mut ops);
+        }
+        assert_eq!(p.stats.scan_supplements, 1);
+        let touched = p.page_meta(VirtPage(0)).unwrap();
+        let idle = p.page_meta(VirtPage(512)).unwrap();
+        assert!(touched.count > idle.count);
+        assert!(touched.bin >= idle.bin);
+    }
+
+    /// The extension is off by default, exactly as in the paper.
+    #[test]
+    fn hybrid_scan_disabled_by_default() {
+        assert_eq!(MemtisConfig::default().hybrid_scan_every_ticks, 0);
+        assert_eq!(MemtisConfig::sim_scaled().hybrid_scan_every_ticks, 0);
+        let on = MemtisConfig::sim_scaled().with_hybrid_scan(8);
+        assert_eq!(on.hybrid_scan_every_ticks, 8);
+    }
+}

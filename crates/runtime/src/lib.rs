@@ -1,0 +1,316 @@
+//! # memtis-runtime — real-thread background daemons
+//!
+//! The deterministic simulation driver (in `memtis-sim`) interleaves daemon
+//! work with the access stream for reproducibility. This crate mirrors the
+//! *actual* kernel architecture with real concurrency: the application
+//! thread executes accesses, a `ksampled` thread drains a bounded PEBS
+//! buffer and updates the MEMTIS histograms, and a `kmigrated` thread wakes
+//! periodically to promote/demote/split — all communicating over
+//! `crossbeam` channels with `parking_lot`-locked shared state.
+//!
+//! Two properties of the paper's design surface naturally here:
+//!
+//! - **Nothing blocks the application**: samples are pushed with
+//!   `try_send`; when the buffer is full the sample is *dropped* (counted),
+//!   exactly like a PEBS buffer overflow, rather than stalling the app.
+//! - **All migration happens asynchronously** in the `kmigrated` thread.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use memtis_core::{MemtisConfig, MemtisPolicy};
+use memtis_sim::prelude::{
+    Access, AccessOutcome, CostAccounting, CostSink, Machine, MachineConfig, PolicyOps, SimResult,
+    TieringPolicy, TierId,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A sampled access forwarded to `ksampled`.
+#[derive(Debug, Clone, Copy)]
+struct SampleMsg {
+    access: Access,
+    outcome: AccessOutcome,
+}
+
+/// Counters exposed by the runtime.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Accesses executed by the application side.
+    pub accesses: AtomicU64,
+    /// Samples delivered to `ksampled`.
+    pub samples_delivered: AtomicU64,
+    /// Samples dropped because the PEBS buffer was full.
+    pub samples_dropped: AtomicU64,
+    /// `kmigrated` wakeups.
+    pub migration_wakeups: AtomicU64,
+}
+
+/// Handle to a running tiered-memory runtime.
+pub struct Runtime {
+    machine: Arc<Mutex<Machine>>,
+    policy: Arc<Mutex<MemtisPolicy>>,
+    sample_tx: Sender<SampleMsg>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    /// Shared counters.
+    pub stats: Arc<RuntimeStats>,
+}
+
+impl Runtime {
+    /// Starts the runtime: spawns `ksampled` and `kmigrated`.
+    ///
+    /// `wakeup` is the `kmigrated` period in real (host) time, standing in
+    /// for the paper's 500 ms.
+    pub fn start(machine_cfg: MachineConfig, memtis_cfg: MemtisConfig, wakeup: Duration) -> Self {
+        let machine = Arc::new(Mutex::new(Machine::new(machine_cfg)));
+        let policy = Arc::new(Mutex::new(MemtisPolicy::new(memtis_cfg)));
+        let (tx, rx): (Sender<SampleMsg>, Receiver<SampleMsg>) = bounded(4096);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(RuntimeStats::default());
+
+        let mut threads = Vec::new();
+
+        // ksampled: drain the PEBS buffer, update histograms/thresholds.
+        {
+            let machine = Arc::clone(&machine);
+            let policy = Arc::clone(&policy);
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ksampled".into())
+                    .spawn(move || {
+                        let mut acct = CostAccounting::default();
+                        loop {
+                            match rx.recv_timeout(Duration::from_millis(5)) {
+                                Ok(msg) => {
+                                    let mut m = machine.lock();
+                                    let mut p = policy.lock();
+                                    let mut ops =
+                                        PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+                                    p.on_access(&mut ops, &msg.access, &msg.outcome);
+                                    stats.samples_delivered.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    if shutdown.load(Ordering::Acquire) && rx.is_empty() {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn ksampled"),
+            );
+        }
+
+        // kmigrated: periodic promotion/demotion/split in the background.
+        {
+            let machine = Arc::clone(&machine);
+            let policy = Arc::clone(&policy);
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("kmigrated".into())
+                    .spawn(move || {
+                        let mut acct = CostAccounting::default();
+                        while !shutdown.load(Ordering::Acquire) {
+                            // Sleep in small quanta so shutdown stays
+                            // responsive even with long wakeup periods.
+                            let mut slept = Duration::ZERO;
+                            while slept < wakeup && !shutdown.load(Ordering::Acquire) {
+                                let quantum = (wakeup - slept).min(Duration::from_millis(5));
+                                std::thread::sleep(quantum);
+                                slept += quantum;
+                            }
+                            if shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let mut m = machine.lock();
+                            let mut p = policy.lock();
+                            let mut ops =
+                                PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+                            p.tick(&mut ops);
+                            stats.migration_wakeups.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("spawn kmigrated"),
+            );
+        }
+
+        Runtime {
+            machine,
+            policy,
+            sample_tx: tx,
+            shutdown,
+            threads,
+            stats,
+        }
+    }
+
+    /// Maps a region (application side), asking the policy for placement.
+    pub fn alloc_region(&self, start: u64, bytes: u64, thp: bool) -> SimResult<()> {
+        use memtis_sim::addr::{PageSize, VirtAddr, HUGE_PAGE_SIZE};
+        let mut m = self.machine.lock();
+        let mut p = self.policy.lock();
+        let mut acct = CostAccounting::default();
+        let mut cur = start;
+        while cur < start + bytes {
+            let vpage = VirtAddr(cur).base_page();
+            let (size, step) =
+                if thp && cur.is_multiple_of(HUGE_PAGE_SIZE) && start + bytes - cur >= HUGE_PAGE_SIZE {
+                    (PageSize::Huge, HUGE_PAGE_SIZE)
+                } else {
+                    (PageSize::Base, 4096)
+                };
+            let tier = {
+                let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::App, 0.0);
+                p.alloc_tier(&mut ops, vpage, size)
+            };
+            let order = [
+                tier,
+                if tier == TierId::FAST {
+                    TierId::CAPACITY
+                } else {
+                    TierId::FAST
+                },
+            ];
+            let (t, _) = m.alloc_and_map_fallback(vpage, size, &order)?;
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::App, 0.0);
+            p.on_alloc(&mut ops, vpage, size, t);
+            cur += step;
+        }
+        Ok(())
+    }
+
+    /// Executes one access on the application path. The only daemon
+    /// interaction is a non-blocking sample push.
+    pub fn access(&self, access: Access) -> SimResult<AccessOutcome> {
+        let outcome = {
+            let mut m = self.machine.lock();
+            m.access(access)?
+        };
+        self.stats.accesses.fetch_add(1, Ordering::Relaxed);
+        // Hardware would only buffer qualifying events; forward those.
+        if access.is_store() || outcome.llc_miss {
+            match self.sample_tx.try_send(SampleMsg { access, outcome }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    // PEBS buffer overflow: the sample is lost, the app is
+                    // never blocked.
+                    self.stats.samples_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Where a page currently resides.
+    pub fn locate(
+        &self,
+        vpage: memtis_sim::addr::VirtPage,
+    ) -> Option<(TierId, memtis_sim::addr::PageSize)> {
+        self.machine.lock().locate(vpage)
+    }
+
+    /// Runs `f` against the policy state (inspection).
+    pub fn with_policy<R>(&self, f: impl FnOnce(&MemtisPolicy) -> R) -> R {
+        f(&self.policy.lock())
+    }
+
+    /// Machine statistics snapshot.
+    pub fn machine_stats(&self) -> memtis_sim::stats::MachineStats {
+        self.machine.lock().stats.clone()
+    }
+
+    /// Stops the daemons and joins their threads.
+    pub fn shutdown(mut self) -> Arc<RuntimeStats> {
+        self.shutdown.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtis_sim::addr::{VirtPage, HUGE_PAGE_SIZE};
+
+    fn small_cfg() -> (MachineConfig, MemtisConfig) {
+        let mc = MachineConfig::dram_nvm(2 * HUGE_PAGE_SIZE, 16 * HUGE_PAGE_SIZE);
+        let pc = MemtisConfig {
+            load_period: 1,
+            store_period: 1,
+            adapt_interval: 100,
+            cooling_interval: 800,
+            control_interval: 1_000_000,
+            ..MemtisConfig::sim_scaled()
+        };
+        (mc, pc)
+    }
+
+    #[test]
+    fn background_promotion_happens_without_app_involvement() {
+        let (mc, pc) = small_cfg();
+        let rt = Runtime::start(mc, pc, Duration::from_millis(2));
+        // Fill the fast tier with a cold region, put the hot page in
+        // capacity.
+        rt.alloc_region(0, 2 * HUGE_PAGE_SIZE, true).unwrap();
+        rt.alloc_region(1 << 30, HUGE_PAGE_SIZE, true).unwrap();
+        let hot_page = VirtPage((1 << 30) / 4096);
+        assert_eq!(rt.locate(hot_page).unwrap().0, TierId::CAPACITY);
+        // Hammer the hot page from the app thread only.
+        for i in 0..3000u64 {
+            rt.access(Access::store((1 << 30) + (i % 512) * 4096))
+                .unwrap();
+            if i % 64 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Give the daemons a moment to act, then check placement.
+        let mut promoted = false;
+        for _ in 0..500 {
+            std::thread::sleep(Duration::from_millis(2));
+            if rt.locate(hot_page).map(|(t, _)| t) == Some(TierId::FAST) {
+                promoted = true;
+                break;
+            }
+        }
+        let stats = rt.shutdown();
+        assert!(promoted, "kmigrated should promote the hot page");
+        assert!(stats.samples_delivered.load(Ordering::Relaxed) > 0);
+        assert!(stats.migration_wakeups.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn full_buffer_drops_samples_instead_of_blocking() {
+        let (mc, pc) = small_cfg();
+        let rt = Runtime::start(mc, pc, Duration::from_secs(3600));
+        rt.alloc_region(0, HUGE_PAGE_SIZE, true).unwrap();
+        // Flood faster than ksampled can drain; the app must never block.
+        let start = std::time::Instant::now();
+        for i in 0..200_000u64 {
+            rt.access(Access::store((i % 512) * 4096)).unwrap();
+        }
+        assert!(start.elapsed() < Duration::from_secs(30));
+        let stats = rt.shutdown();
+        let delivered = stats.samples_delivered.load(Ordering::Relaxed);
+        let dropped = stats.samples_dropped.load(Ordering::Relaxed);
+        assert_eq!(stats.accesses.load(Ordering::Relaxed), 200_000);
+        assert!(delivered + dropped > 0);
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let (mc, pc) = small_cfg();
+        let rt = Runtime::start(mc, pc, Duration::from_millis(1));
+        rt.alloc_region(0, HUGE_PAGE_SIZE, true).unwrap();
+        rt.access(Access::load(0)).unwrap();
+        let _ = rt.shutdown();
+    }
+}

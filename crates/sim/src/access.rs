@@ -1,0 +1,86 @@
+//! Memory-access records flowing from workloads through the machine.
+
+use crate::addr::{PageSize, TierId, VirtAddr, VirtPage};
+
+/// Kind of memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load (read).
+    Load,
+    /// A store (write).
+    Store,
+}
+
+/// One memory access issued by the simulated application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The virtual address touched.
+    pub vaddr: VirtAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// A load of `vaddr`.
+    pub fn load(vaddr: u64) -> Self {
+        Access {
+            vaddr: VirtAddr(vaddr),
+            kind: AccessKind::Load,
+        }
+    }
+
+    /// A store to `vaddr`.
+    pub fn store(vaddr: u64) -> Self {
+        Access {
+            vaddr: VirtAddr(vaddr),
+            kind: AccessKind::Store,
+        }
+    }
+
+    /// Whether this access is a store.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        self.kind == AccessKind::Store
+    }
+}
+
+/// What happened when the machine executed one access.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessOutcome {
+    /// Total latency charged to the application for this access (ns),
+    /// including translation, cache, memory, and any fault handling.
+    pub latency_ns: f64,
+    /// The 4 KiB virtual page touched.
+    pub vpage: VirtPage,
+    /// Size of the mapping that served the access.
+    pub page_size: PageSize,
+    /// Tier that served the access (meaningful whether or not the LLC hit;
+    /// it is the tier the page resides on).
+    pub tier: TierId,
+    /// Whether the access missed the LLC and paid the tier latency. PEBS
+    /// samples exactly these (LLC-miss loads) plus retired stores.
+    pub llc_miss: bool,
+    /// Whether the TLB missed and a page walk was performed.
+    pub tlb_miss: bool,
+    /// Whether a NUMA-hint protection fault fired (the policy's
+    /// `on_hint_fault` will be invoked by the driver).
+    pub hint_fault: bool,
+    /// Whether a demand-paging fault fired (page was unmapped and the driver
+    /// mapped it on the fly).
+    pub demand_fault: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let l = Access::load(0x1000);
+        assert_eq!(l.kind, AccessKind::Load);
+        assert!(!l.is_store());
+        let s = Access::store(0x2000);
+        assert!(s.is_store());
+        assert_eq!(s.vaddr, VirtAddr(0x2000));
+    }
+}

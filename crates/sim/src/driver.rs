@@ -1,0 +1,612 @@
+//! The simulation driver: feeds a workload's event stream through the
+//! machine and a tiering policy, accounting application and daemon time.
+//!
+//! ## Time model
+//!
+//! The workload represents `app_threads` application threads issuing an
+//! aggregate access stream; wall-clock time advances by `latency /
+//! app_threads` per access (perfect thread overlap). Policy work is charged
+//! to one of two sinks (see [`crate::policy::CostSink`]): application-side
+//! costs (fault handlers, allocation-path migration) stretch wall time
+//! directly, while daemon costs consume cores. At each timeline window the
+//! driver converts daemon CPU into an application slowdown only when the
+//! application threads plus daemon threads oversubscribe the cores — this
+//! reproduces the paper's observation that HeMem's sampling thread hurts at
+//! 20 app threads but not at 16 (§6.2.9).
+
+use crate::access::Access;
+use crate::addr::{PageSize, TierId, VirtAddr, VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES};
+use crate::config::MachineConfig;
+use crate::error::{SimError, SimResult};
+use crate::machine::Machine;
+use crate::policy::{CostAccounting, CostSink, PolicyOps, TieringPolicy};
+use crate::stats::MachineStats;
+
+/// One event produced by a workload generator.
+#[derive(Debug, Clone, Copy)]
+pub enum WorkloadEvent {
+    /// Execute a memory access.
+    Access(Access),
+    /// Map a virtual region. `thp` marks the region THP-eligible (the driver
+    /// also honors the global THP switch).
+    Alloc {
+        /// Start address (2 MiB-aligned for THP-eligible regions).
+        addr: VirtAddr,
+        /// Region length in bytes.
+        bytes: u64,
+        /// Whether THP may back this region with huge pages.
+        thp: bool,
+    },
+    /// Unmap a virtual region previously allocated.
+    Free {
+        /// Start address.
+        addr: VirtAddr,
+        /// Region length in bytes.
+        bytes: u64,
+    },
+}
+
+/// A source of workload events.
+pub trait AccessStream {
+    /// The next event, or `None` when the workload is finished.
+    fn next_event(&mut self) -> Option<WorkloadEvent>;
+
+    /// Workload name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Global transparent-huge-page switch.
+    pub thp_enabled: bool,
+    /// Background tick period in simulated ns (kmigrated-style wakeups).
+    pub tick_interval_ns: f64,
+    /// Timeline snapshot period in simulated ns.
+    pub timeline_interval_ns: f64,
+    /// Stop after this many accesses even if the stream continues.
+    pub max_accesses: Option<u64>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            thp_enabled: true,
+            tick_interval_ns: 100_000.0,
+            timeline_interval_ns: 2_000_000.0,
+            max_accesses: None,
+        }
+    }
+}
+
+/// Periodic snapshot of run state (Fig. 9 / Fig. 11 timelines).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Wall-clock time of the snapshot (ns).
+    pub wall_ns: f64,
+    /// Cumulative accesses executed.
+    pub accesses: u64,
+    /// Accesses per wall-clock second within the window.
+    pub window_throughput: f64,
+    /// Fast-tier hit ratio (LLC-missing accesses) within the window.
+    pub window_fast_hit_ratio: f64,
+    /// Application RSS at snapshot time (bytes).
+    pub rss_bytes: u64,
+    /// Fast-tier bytes in use.
+    pub fast_used_bytes: u64,
+    /// Policy-specific metrics.
+    pub policy: Vec<(&'static str, f64)>,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Policy name.
+    pub policy: String,
+    /// Total wall-clock time (ns), the performance headline.
+    pub wall_ns: f64,
+    /// Sum of raw access latencies (ns), before dividing across threads.
+    pub app_access_ns: f64,
+    /// Application-side policy overhead (fault handlers etc., ns).
+    pub app_extra_ns: f64,
+    /// Background daemon CPU consumed (ns).
+    pub daemon_ns: f64,
+    /// Accesses executed.
+    pub accesses: u64,
+    /// Machine counters at the end of the run.
+    pub stats: MachineStats,
+    /// TLB counters.
+    pub tlb: crate::tlb::TlbStats,
+    /// LLC counters.
+    pub llc: crate::cache::LlcStats,
+    /// Peak application RSS (bytes).
+    pub rss_peak_bytes: u64,
+    /// Final application RSS (bytes).
+    pub rss_final_bytes: u64,
+    /// Timeline snapshots.
+    pub timeline: Vec<Snapshot>,
+}
+
+impl RunReport {
+    /// Accesses per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_ns <= 0.0 {
+            0.0
+        } else {
+            self.accesses as f64 / (self.wall_ns * 1e-9)
+        }
+    }
+
+    /// Daemon CPU usage as a fraction of one core over the run.
+    pub fn daemon_core_usage(&self) -> f64 {
+        if self.wall_ns <= 0.0 {
+            0.0
+        } else {
+            self.daemon_ns / self.wall_ns
+        }
+    }
+}
+
+struct WindowState {
+    start_wall: f64,
+    start_accesses: u64,
+    start_daemon_ns: f64,
+    start_fast_hits: u64,
+    start_total_hits: u64,
+}
+
+/// The simulation: one machine, one policy, one workload stream.
+pub struct Simulation<P: TieringPolicy> {
+    machine: Machine,
+    policy: P,
+    cfg: DriverConfig,
+    acct: CostAccounting,
+    wall_ns: f64,
+    app_access_ns: f64,
+    accesses: u64,
+    next_tick: f64,
+    next_snapshot: f64,
+    rss_peak: u64,
+    timeline: Vec<Snapshot>,
+    window: WindowState,
+}
+
+impl<P: TieringPolicy> Simulation<P> {
+    /// Creates a simulation over a fresh machine.
+    pub fn new(machine_cfg: MachineConfig, policy: P, cfg: DriverConfig) -> Self {
+        let machine = Machine::new(machine_cfg);
+        let next_tick = cfg.tick_interval_ns;
+        let next_snapshot = cfg.timeline_interval_ns;
+        Simulation {
+            machine,
+            policy,
+            cfg,
+            acct: CostAccounting::default(),
+            wall_ns: 0.0,
+            app_access_ns: 0.0,
+            accesses: 0,
+            next_tick,
+            next_snapshot,
+            rss_peak: 0,
+            timeline: Vec::new(),
+            window: WindowState {
+                start_wall: 0.0,
+                start_accesses: 0,
+                start_daemon_ns: 0.0,
+                start_fast_hits: 0,
+                start_total_hits: 0,
+            },
+        }
+    }
+
+    /// Read access to the machine (tests, inspection).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Read access to the policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    fn ops<'a>(
+        machine: &'a mut Machine,
+        acct: &'a mut CostAccounting,
+        sink: CostSink,
+        now: f64,
+    ) -> PolicyOps<'a> {
+        PolicyOps::new(machine, acct, sink, now)
+    }
+
+    fn threads(&self) -> f64 {
+        self.machine.config().app_threads.max(1) as f64
+    }
+
+    fn alloc_one(&mut self, vpage: VirtPage, size: PageSize) -> SimResult<()> {
+        let mut ops = Self::ops(&mut self.machine, &mut self.acct, CostSink::App, self.wall_ns);
+        let pref = self.policy.alloc_tier(&mut ops, vpage, size);
+        let order: Vec<TierId> = {
+            let n = self.machine.tier_count() as u8;
+            std::iter::once(pref)
+                .chain((0..n).map(TierId).filter(|t| *t != pref))
+                .collect()
+        };
+        match self.machine.alloc_and_map_fallback(vpage, size, &order) {
+            Ok((tier, _frame)) => {
+                let mut ops =
+                    Self::ops(&mut self.machine, &mut self.acct, CostSink::App, self.wall_ns);
+                self.policy.on_alloc(&mut ops, vpage, size, tier);
+                Ok(())
+            }
+            Err(SimError::GlobalOutOfMemory) if size == PageSize::Huge => {
+                // Physical fragmentation: fall back to base pages.
+                for i in 0..NR_SUBPAGES {
+                    self.alloc_one(vpage.add(i), PageSize::Base)?;
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn handle_alloc(&mut self, addr: VirtAddr, bytes: u64, thp: bool) -> SimResult<()> {
+        let use_thp = thp && self.cfg.thp_enabled;
+        let mut cur = addr.0;
+        let end = addr.0 + bytes;
+        while cur < end {
+            let vpage = VirtAddr(cur).base_page();
+            let remaining = end - cur;
+            if use_thp && cur.is_multiple_of(HUGE_PAGE_SIZE) && remaining >= HUGE_PAGE_SIZE {
+                self.alloc_one(vpage, PageSize::Huge)?;
+                cur += HUGE_PAGE_SIZE;
+            } else {
+                self.alloc_one(vpage, PageSize::Base)?;
+                cur += PageSize::Base.bytes();
+            }
+        }
+        self.rss_peak = self.rss_peak.max(self.machine.rss_bytes());
+        Ok(())
+    }
+
+    fn handle_free(&mut self, addr: VirtAddr, bytes: u64) -> SimResult<()> {
+        let mut cur = addr.0;
+        let end = addr.0 + bytes;
+        while cur < end {
+            let vpage = VirtAddr(cur).base_page();
+            match self.machine.locate(vpage) {
+                Some((_, PageSize::Huge)) if vpage.is_huge_aligned() => {
+                    let cost = self.machine.unmap_and_free(vpage, PageSize::Huge)?;
+                    self.acct.app_extra_ns += cost;
+                    let mut ops =
+                        Self::ops(&mut self.machine, &mut self.acct, CostSink::App, self.wall_ns);
+                    self.policy.on_free(&mut ops, vpage, PageSize::Huge);
+                    cur += HUGE_PAGE_SIZE;
+                }
+                Some((_, PageSize::Base)) => {
+                    let cost = self.machine.unmap_and_free(vpage, PageSize::Base)?;
+                    self.acct.app_extra_ns += cost;
+                    let mut ops =
+                        Self::ops(&mut self.machine, &mut self.acct, CostSink::App, self.wall_ns);
+                    self.policy.on_free(&mut ops, vpage, PageSize::Base);
+                    cur += PageSize::Base.bytes();
+                }
+                _ => {
+                    // Hole (e.g. a zero subpage freed by a split): skip.
+                    cur += PageSize::Base.bytes();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_access(&mut self, access: Access) -> SimResult<()> {
+        let outcome = match self.machine.access(access) {
+            Ok(o) => o,
+            Err(SimError::NotMapped(vpage)) => {
+                // Demand fault: map a base page where the policy prefers.
+                self.acct.app_extra_ns += self.machine.config().costs.fault_overhead_ns;
+                self.machine.stats.demand_faults += 1;
+                self.alloc_one(vpage, PageSize::Base)?;
+                let mut o = self.machine.access(access)?;
+                o.demand_fault = true;
+                o
+            }
+            Err(e) => return Err(e),
+        };
+
+        let app_before = self.acct.app_extra_ns;
+        if outcome.hint_fault {
+            let mut ops =
+                Self::ops(&mut self.machine, &mut self.acct, CostSink::App, self.wall_ns);
+            self.policy.on_hint_fault(&mut ops, outcome.vpage);
+        }
+        {
+            let mut ops =
+                Self::ops(&mut self.machine, &mut self.acct, CostSink::Daemon, self.wall_ns);
+            self.policy.on_access(&mut ops, &access, &outcome);
+        }
+        let fault_work = self.acct.app_extra_ns - app_before;
+
+        self.app_access_ns += outcome.latency_ns;
+        self.wall_ns += (outcome.latency_ns + fault_work) / self.threads();
+        self.accesses += 1;
+        Ok(())
+    }
+
+    fn run_due_ticks(&mut self) {
+        while self.wall_ns >= self.next_tick {
+            let now = self.next_tick;
+            let mut ops = Self::ops(&mut self.machine, &mut self.acct, CostSink::Daemon, now);
+            self.policy.tick(&mut ops);
+            self.next_tick += self.cfg.tick_interval_ns;
+        }
+    }
+
+    fn close_window(&mut self) {
+        let wdur = self.wall_ns - self.window.start_wall;
+        if wdur <= 0.0 {
+            return;
+        }
+        // Daemon CPU contention: daemons steal cores from the app only when
+        // the machine is oversubscribed.
+        let cores = self.machine.config().cores as f64;
+        let threads = self.threads();
+        let wdaemon = self.acct.daemon_ns - self.window.start_daemon_ns;
+        // Daemon work runs on a bounded set of kernel threads; work beyond
+        // that capacity queues rather than consuming extra cores.
+        let dcores = ((wdaemon / wdur).min(self.machine.config().daemon_core_cap)
+            + self.policy.dedicated_daemon_cores())
+        .min(cores - 1.0);
+        let available = cores - dcores;
+        let speed = (available.min(threads)) / threads;
+        let stretch = wdur * (1.0 / speed - 1.0);
+        self.wall_ns += stretch;
+
+        let accesses = self.accesses - self.window.start_accesses;
+        let fast_hits = self
+            .machine
+            .stats
+            .tier_hits
+            .first()
+            .copied()
+            .unwrap_or(0);
+        let total_hits: u64 = self.machine.stats.tier_hits.iter().sum();
+        let wfast = fast_hits - self.window.start_fast_hits;
+        let wtotal = total_hits - self.window.start_total_hits;
+        let mut policy_metrics = Vec::new();
+        self.policy.timeline(&mut policy_metrics);
+        let wall_total = self.wall_ns;
+        self.timeline.push(Snapshot {
+            wall_ns: wall_total,
+            accesses: self.accesses,
+            window_throughput: accesses as f64 / ((wdur + stretch) * 1e-9),
+            window_fast_hit_ratio: if wtotal == 0 {
+                0.0
+            } else {
+                wfast as f64 / wtotal as f64
+            },
+            rss_bytes: self.machine.rss_bytes(),
+            fast_used_bytes: self.machine.used_bytes(TierId::FAST),
+            policy: policy_metrics,
+        });
+        self.window = WindowState {
+            start_wall: self.wall_ns,
+            start_accesses: self.accesses,
+            start_daemon_ns: self.acct.daemon_ns,
+            start_fast_hits: fast_hits,
+            start_total_hits: total_hits,
+        };
+    }
+
+    /// Runs the workload to completion (or `max_accesses`) and reports.
+    /// The simulation (machine and policy) remains inspectable afterwards.
+    pub fn run(&mut self, workload: &mut dyn AccessStream) -> SimResult<RunReport> {
+        {
+            let mut ops =
+                Self::ops(&mut self.machine, &mut self.acct, CostSink::Daemon, 0.0);
+            self.policy.init(&mut ops);
+        }
+        while let Some(ev) = workload.next_event() {
+            match ev {
+                WorkloadEvent::Access(a) => self.handle_access(a)?,
+                WorkloadEvent::Alloc { addr, bytes, thp } => self.handle_alloc(addr, bytes, thp)?,
+                WorkloadEvent::Free { addr, bytes } => self.handle_free(addr, bytes)?,
+            }
+            if self.wall_ns >= self.next_tick {
+                self.run_due_ticks();
+            }
+            if self.wall_ns >= self.next_snapshot {
+                self.close_window();
+                self.next_snapshot = self.wall_ns + self.cfg.timeline_interval_ns;
+            }
+            if let Some(max) = self.cfg.max_accesses {
+                if self.accesses >= max {
+                    break;
+                }
+            }
+            self.rss_peak = self.rss_peak.max(self.machine.rss_bytes());
+        }
+        self.close_window();
+
+        Ok(RunReport {
+            workload: workload.name().to_string(),
+            policy: self.policy.descriptor().name.to_string(),
+            wall_ns: self.wall_ns,
+            app_access_ns: self.app_access_ns,
+            app_extra_ns: self.acct.app_extra_ns,
+            daemon_ns: self.acct.daemon_ns,
+            accesses: self.accesses,
+            stats: self.machine.stats.clone(),
+            tlb: self.machine.tlb_stats(),
+            llc: self.machine.llc_stats(),
+            rss_peak_bytes: self.rss_peak.max(self.machine.rss_bytes()),
+            rss_final_bytes: self.machine.rss_bytes(),
+            timeline: std::mem::take(&mut self.timeline),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::HUGE_PAGE_SIZE;
+    use crate::policy::NoopPolicy;
+
+    /// A scripted stream for tests.
+    pub struct Script {
+        events: std::vec::IntoIter<WorkloadEvent>,
+    }
+
+    impl Script {
+        pub fn new(events: Vec<WorkloadEvent>) -> Self {
+            Script {
+                events: events.into_iter(),
+            }
+        }
+    }
+
+    impl AccessStream for Script {
+        fn next_event(&mut self) -> Option<WorkloadEvent> {
+            self.events.next()
+        }
+        fn name(&self) -> &str {
+            "script"
+        }
+    }
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::dram_nvm(2 * HUGE_PAGE_SIZE, 8 * HUGE_PAGE_SIZE)
+    }
+
+    #[test]
+    fn alloc_access_free_cycle() {
+        let mut wl = Script::new(vec![
+            WorkloadEvent::Alloc {
+                addr: VirtAddr(0),
+                bytes: HUGE_PAGE_SIZE,
+                thp: true,
+            },
+            WorkloadEvent::Access(Access::load(4096)),
+            WorkloadEvent::Access(Access::store(8192)),
+            WorkloadEvent::Free {
+                addr: VirtAddr(0),
+                bytes: HUGE_PAGE_SIZE,
+            },
+        ]);
+        let mut sim = Simulation::new(cfg(), NoopPolicy, DriverConfig::default());
+        let r = sim.run(&mut wl).unwrap();
+        assert_eq!(r.accesses, 2);
+        assert_eq!(r.rss_final_bytes, 0);
+        assert_eq!(r.rss_peak_bytes, HUGE_PAGE_SIZE);
+        assert!(r.wall_ns > 0.0);
+        assert_eq!(r.stats.loads, 1);
+        assert_eq!(r.stats.stores, 1);
+    }
+
+    #[test]
+    fn thp_disabled_maps_base_pages() {
+        let mut wl = Script::new(vec![WorkloadEvent::Alloc {
+            addr: VirtAddr(0),
+            bytes: HUGE_PAGE_SIZE,
+            thp: true,
+        }]);
+        let mut sim = Simulation::new(
+            cfg(),
+            NoopPolicy,
+            DriverConfig {
+                thp_enabled: false,
+                ..Default::default()
+            },
+        );
+        let r = sim.run(&mut wl).unwrap();
+        assert_eq!(r.rss_final_bytes, HUGE_PAGE_SIZE);
+        let _ = r;
+    }
+
+    #[test]
+    fn demand_fault_maps_missing_page() {
+        let mut wl = Script::new(vec![WorkloadEvent::Access(Access::load(123 * 4096))]);
+        let mut sim = Simulation::new(cfg(), NoopPolicy, DriverConfig::default());
+        let r = sim.run(&mut wl).unwrap();
+        assert_eq!(r.accesses, 1);
+        assert_eq!(r.stats.demand_faults, 1);
+        assert_eq!(r.rss_final_bytes, 4096);
+        assert!(r.app_extra_ns >= 300.0);
+    }
+
+    #[test]
+    fn spillover_to_capacity_tier() {
+        // 2 MiB fast tier, allocate 3 huge pages: 1 fast + 2 capacity.
+        let mc = MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 8 * HUGE_PAGE_SIZE);
+        let mut wl = Script::new(vec![WorkloadEvent::Alloc {
+            addr: VirtAddr(0),
+            bytes: 3 * HUGE_PAGE_SIZE,
+            thp: true,
+        }]);
+        let mut sim = Simulation::new(mc, NoopPolicy, DriverConfig::default());
+        let r = sim.run(&mut wl).unwrap();
+        assert_eq!(r.rss_final_bytes, 3 * HUGE_PAGE_SIZE);
+    }
+
+    #[test]
+    fn wall_time_divides_across_threads() {
+        let mut one = Script::new(vec![
+            WorkloadEvent::Alloc {
+                addr: VirtAddr(0),
+                bytes: HUGE_PAGE_SIZE,
+                thp: true,
+            },
+            WorkloadEvent::Access(Access::load(0)),
+        ]);
+        let mut mc = cfg();
+        mc.app_threads = 1;
+        let r1 = Simulation::new(mc.clone(), NoopPolicy, DriverConfig::default())
+            .run(&mut one)
+            .unwrap();
+        let mut twenty = Script::new(vec![
+            WorkloadEvent::Alloc {
+                addr: VirtAddr(0),
+                bytes: HUGE_PAGE_SIZE,
+                thp: true,
+            },
+            WorkloadEvent::Access(Access::load(0)),
+        ]);
+        mc.app_threads = 20;
+        let r20 = Simulation::new(mc, NoopPolicy, DriverConfig::default())
+            .run(&mut twenty)
+            .unwrap();
+        assert!(r20.wall_ns < r1.wall_ns);
+        assert!((r1.wall_ns / r20.wall_ns - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn timeline_snapshots_accumulate() {
+        let mut events = vec![WorkloadEvent::Alloc {
+            addr: VirtAddr(0),
+            bytes: HUGE_PAGE_SIZE,
+            thp: true,
+        }];
+        for i in 0..20_000u64 {
+            events.push(WorkloadEvent::Access(Access::load((i % 512) * 4096)));
+        }
+        let mut wl = Script::new(events);
+        let mut sim = Simulation::new(
+            cfg(),
+            NoopPolicy,
+            DriverConfig {
+                timeline_interval_ns: 10_000.0,
+                ..Default::default()
+            },
+        );
+        let r = sim.run(&mut wl).unwrap();
+        assert!(r.timeline.len() >= 2, "timeline: {}", r.timeline.len());
+        assert!(r.throughput() > 0.0);
+        // Snapshots are monotonic in time and accesses.
+        for w in r.timeline.windows(2) {
+            assert!(w[1].wall_ns >= w[0].wall_ns);
+            assert!(w[1].accesses >= w[0].accesses);
+        }
+    }
+}

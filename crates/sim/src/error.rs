@@ -1,0 +1,73 @@
+//! Error type shared across the simulator.
+
+use crate::addr::{PageSize, TierId, VirtPage};
+use std::fmt;
+
+/// Result alias used throughout the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors surfaced by machine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A tier has no free frame of the requested size.
+    OutOfMemory {
+        /// The tier that could not satisfy the allocation.
+        tier: TierId,
+        /// The requested frame size.
+        size: PageSize,
+    },
+    /// No tier could satisfy an allocation (machine-wide OOM).
+    GlobalOutOfMemory,
+    /// The virtual page is not mapped.
+    NotMapped(VirtPage),
+    /// The virtual page is already mapped.
+    AlreadyMapped(VirtPage),
+    /// The operation expected a huge mapping but found a base mapping (or
+    /// vice versa).
+    WrongPageSize {
+        /// The page the operation targeted.
+        vpage: VirtPage,
+        /// The size the operation expected.
+        expected: PageSize,
+    },
+    /// A huge-page operation was attempted on a non-2 MiB-aligned page.
+    Unaligned(VirtPage),
+    /// Migration target equals the current tier.
+    SameTier(TierId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { tier, size } => {
+                write!(f, "{tier} out of memory for a {size} frame")
+            }
+            SimError::GlobalOutOfMemory => write!(f, "no tier can satisfy the allocation"),
+            SimError::NotMapped(p) => write!(f, "{p} is not mapped"),
+            SimError::AlreadyMapped(p) => write!(f, "{p} is already mapped"),
+            SimError::WrongPageSize { vpage, expected } => {
+                write!(f, "{vpage} is not mapped as a {expected} page")
+            }
+            SimError::Unaligned(p) => write!(f, "{p} is not 2MiB-aligned"),
+            SimError::SameTier(t) => write!(f, "page already resides on {t}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfMemory {
+            tier: TierId::FAST,
+            size: PageSize::Huge,
+        };
+        assert!(e.to_string().contains("tier0"));
+        assert!(e.to_string().contains("2MiB"));
+        assert!(SimError::NotMapped(VirtPage(4)).to_string().contains("vpn0x4"));
+    }
+}

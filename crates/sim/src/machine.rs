@@ -1,0 +1,660 @@
+//! The simulated tiered-memory machine.
+//!
+//! [`Machine`] owns the per-tier frame allocators, the page table, the TLB,
+//! and the LLC, and executes individual accesses with a full cost breakdown:
+//! translation (TLB hit, or a 3-/4-level walk), cache (LLC hit), and memory
+//! (tier load/store latency on an LLC miss). It also exposes the mutating
+//! operations tiering policies perform — migration, huge-page split/collapse,
+//! NUMA-hint arming — each returning the nanosecond cost the caller must
+//! attribute to either the application critical path or a background daemon.
+
+use crate::access::{Access, AccessOutcome};
+use crate::addr::{Frame, PageSize, TierId, VirtPage, BASE_PAGE_SIZE, NR_SUBPAGES};
+use crate::cache::Llc;
+use crate::config::MachineConfig;
+use crate::error::{SimError, SimResult};
+use crate::page_table::{EntryMut, PageTable, Translation};
+use crate::stats::MachineStats;
+use crate::tier::TierAllocator;
+use crate::tlb::Tlb;
+
+/// Per-PTE update cost during a split or collapse (ns).
+const PTE_UPDATE_NS: f64 = 15.0;
+
+/// Outcome of a huge-page split.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitOutcome {
+    /// Never-written subpages that were unmapped and freed.
+    pub zero_subpages_freed: u32,
+    /// Cost of the operation (ns).
+    pub cost_ns: f64,
+}
+
+/// Outcome of a migration or collapse.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrateOutcome {
+    /// Cost of the operation (ns), dominated by the data copy.
+    pub cost_ns: f64,
+    /// Tier the page came from.
+    pub from: TierId,
+    /// Tier the page now resides on.
+    pub to: TierId,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    tiers: Vec<TierAllocator>,
+    pt: PageTable,
+    tlb: Tlb,
+    llc: Llc,
+    /// Running counters.
+    pub stats: MachineStats,
+}
+
+impl Machine {
+    /// Builds a machine from the configuration. Tier frame ranges are laid
+    /// out contiguously, fastest tier first.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let mut tiers = Vec::with_capacity(cfg.tiers.len());
+        let mut next_frame = 0u64;
+        for (i, spec) in cfg.tiers.iter().enumerate() {
+            let alloc = TierAllocator::new(TierId(i as u8), next_frame, spec.usable_capacity());
+            next_frame = alloc.frame_end();
+            tiers.push(alloc);
+        }
+        Machine {
+            tlb: Tlb::new(&cfg.tlb),
+            llc: Llc::new(cfg.llc_bytes),
+            tiers,
+            pt: PageTable::new(),
+            stats: MachineStats::default(),
+            cfg,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of tiers.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The tier owning `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame belongs to no tier.
+    pub fn tier_of_frame(&self, frame: Frame) -> TierId {
+        for t in &self.tiers {
+            if t.owns(frame) {
+                return t.tier();
+            }
+        }
+        panic!("{frame} belongs to no tier");
+    }
+
+    /// Free bytes on a tier.
+    pub fn free_bytes(&self, tier: TierId) -> u64 {
+        self.tiers[tier.0 as usize].free_bytes()
+    }
+
+    /// Capacity of a tier in bytes.
+    pub fn capacity_bytes(&self, tier: TierId) -> u64 {
+        self.tiers[tier.0 as usize].capacity_bytes()
+    }
+
+    /// Used bytes on a tier.
+    pub fn used_bytes(&self, tier: TierId) -> u64 {
+        self.tiers[tier.0 as usize].used_bytes()
+    }
+
+    /// Application resident set size implied by mappings.
+    pub fn rss_bytes(&self) -> u64 {
+        self.pt.rss_bytes()
+    }
+
+    /// Mapped 2 MiB pages (for the huge-page ratio statistic).
+    pub fn mapped_huge_pages(&self) -> u64 {
+        self.pt.mapped_huge_pages()
+    }
+
+    /// Mapped 4 KiB pages.
+    pub fn mapped_base_pages(&self) -> u64 {
+        self.pt.mapped_base_pages()
+    }
+
+    /// Translation of `vpage` (tier, mapping size), if mapped.
+    pub fn locate(&self, vpage: VirtPage) -> Option<(TierId, PageSize)> {
+        let t = self.pt.translate(vpage)?;
+        Some((self.tier_of_frame(t.frame), t.size))
+    }
+
+    /// Raw translation of `vpage`.
+    pub fn translate(&self, vpage: VirtPage) -> Option<Translation> {
+        self.pt.translate(vpage)
+    }
+
+    /// The huge entry at `vpage`'s huge page, if huge-mapped (read-only view
+    /// used by splitters to inspect per-subpage written bits).
+    pub fn huge_entry(&self, vpage: VirtPage) -> Option<&crate::page_table::HugeEntry> {
+        self.pt.huge_entry(vpage)
+    }
+
+    /// TLB statistics.
+    pub fn tlb_stats(&self) -> crate::tlb::TlbStats {
+        self.tlb.stats
+    }
+
+    /// LLC statistics.
+    pub fn llc_stats(&self) -> crate::cache::LlcStats {
+        self.llc.stats
+    }
+
+    /// Allocates a frame on `tier` and maps `vpage` to it.
+    pub fn alloc_and_map(&mut self, vpage: VirtPage, size: PageSize, tier: TierId) -> SimResult<Frame> {
+        let frame = self.tiers[tier.0 as usize].alloc(size)?;
+        let res = match size {
+            PageSize::Base => self.pt.map_base(vpage, frame),
+            PageSize::Huge => self.pt.map_huge(vpage, frame),
+        };
+        if let Err(e) = res {
+            self.tiers[tier.0 as usize].free(frame, size);
+            return Err(e);
+        }
+        Ok(frame)
+    }
+
+    /// Allocates on the first tier (in `order`) with a free frame.
+    pub fn alloc_and_map_fallback(
+        &mut self,
+        vpage: VirtPage,
+        size: PageSize,
+        order: &[TierId],
+    ) -> SimResult<(TierId, Frame)> {
+        for &t in order {
+            match self.alloc_and_map(vpage, size, t) {
+                Ok(f) => return Ok((t, f)),
+                Err(SimError::OutOfMemory { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(SimError::GlobalOutOfMemory)
+    }
+
+    /// Unmaps `vpage` and frees its frame. Returns the shootdown cost (ns).
+    pub fn unmap_and_free(&mut self, vpage: VirtPage, size: PageSize) -> SimResult<f64> {
+        match size {
+            PageSize::Base => {
+                let pte = self.pt.unmap_base(vpage)?;
+                let tier = self.tier_of_frame(pte.frame);
+                self.tiers[tier.0 as usize].free_base(pte.frame);
+            }
+            PageSize::Huge => {
+                let h = self.pt.unmap_huge(vpage)?;
+                let tier = self.tier_of_frame(h.frame);
+                self.tiers[tier.0 as usize].free_huge(h.frame);
+            }
+        }
+        self.tlb.invalidate(vpage, size);
+        self.stats.shootdowns += 1;
+        Ok(self.cfg.costs.tlb_shootdown_ns)
+    }
+
+    /// Arms the NUMA-hint bit on the mapping covering `vpage`; the next
+    /// access will fault into the policy. Returns false if unmapped.
+    pub fn set_hint(&mut self, vpage: VirtPage) -> bool {
+        match self.pt.entry_mut(vpage) {
+            Some(EntryMut::Base(p)) => {
+                p.hint = true;
+                true
+            }
+            Some(EntryMut::Huge(h)) => {
+                h.hint = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Visits every mapped page-table entry (scanning substrates, cooling).
+    pub fn scan_entries(&mut self, f: impl FnMut(VirtPage, EntryMut<'_>)) {
+        self.pt.for_each_entry(f)
+    }
+
+    /// Executes one access. Returns `Err(NotMapped)` on a demand fault; the
+    /// driver maps the page and retries.
+    pub fn access(&mut self, access: Access) -> SimResult<AccessOutcome> {
+        let vpage = access.vaddr.base_page();
+        let tr = self
+            .pt
+            .translate(vpage)
+            .ok_or(SimError::NotMapped(vpage))?;
+        let mut latency = 0.0;
+        let mut hint_fault = false;
+
+        // NUMA-hint fault: trap cost, then the access proceeds (the driver
+        // notifies the policy afterwards).
+        if tr.hint {
+            hint_fault = true;
+            latency += self.cfg.costs.fault_overhead_ns;
+            self.stats.hint_faults += 1;
+            match self.pt.entry_mut(vpage) {
+                Some(EntryMut::Base(p)) => p.hint = false,
+                Some(EntryMut::Huge(h)) => h.hint = false,
+                None => unreachable!(),
+            }
+        }
+
+        // Address translation.
+        let tlb_hit = self.tlb.lookup(vpage, tr.size);
+        if !tlb_hit {
+            latency += tr.size.walk_levels() as f64 * self.cfg.costs.walk_level_ns;
+            self.tlb.insert(vpage, tr.size);
+        }
+
+        // Reference bits (harvested by page-table-scanning policies).
+        match self.pt.entry_mut(vpage) {
+            Some(EntryMut::Base(p)) => {
+                p.accessed = true;
+                if access.is_store() {
+                    p.dirty = true;
+                    p.ever_written = true;
+                }
+            }
+            Some(EntryMut::Huge(h)) => {
+                h.accessed = true;
+                if access.is_store() {
+                    h.dirty = true;
+                    h.mark_subpage_written(vpage.subpage_index());
+                }
+            }
+            None => unreachable!(),
+        }
+
+        // Cache and memory.
+        let paddr = crate::addr::PhysAddr(tr.frame.addr().0 + access.vaddr.base_offset());
+        let tier = self.tier_of_frame(tr.frame);
+        let llc_hit = self.llc.access(paddr);
+        if llc_hit {
+            latency += self.cfg.costs.llc_hit_ns;
+        } else {
+            let spec = self.cfg.tier(tier);
+            latency += if access.is_store() {
+                spec.store_ns
+            } else {
+                spec.load_ns
+            };
+            self.stats.count_tier_hit(tier);
+        }
+
+        if access.is_store() {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+
+        Ok(AccessOutcome {
+            latency_ns: latency,
+            vpage,
+            page_size: tr.size,
+            tier,
+            llc_miss: !llc_hit,
+            tlb_miss: !tlb_hit,
+            hint_fault,
+            demand_fault: false,
+        })
+    }
+
+    /// Migrates the page covering `vpage` to `dst`, preserving entry flags.
+    ///
+    /// For a huge mapping, `vpage` must be 2 MiB-aligned and the whole page
+    /// moves. Fails with `OutOfMemory` if `dst` has no free frame (callers
+    /// demote first to make room).
+    pub fn migrate(&mut self, vpage: VirtPage, dst: TierId) -> SimResult<MigrateOutcome> {
+        let tr = self
+            .pt
+            .translate(vpage)
+            .ok_or(SimError::NotMapped(vpage))?;
+        if tr.size == PageSize::Huge && !vpage.is_huge_aligned() {
+            return Err(SimError::Unaligned(vpage));
+        }
+        let src = self.tier_of_frame(tr.frame);
+        if src == dst {
+            return Err(SimError::SameTier(src));
+        }
+        let new_frame = self.tiers[dst.0 as usize].alloc(tr.size)?;
+        let old_frame = match self.pt.entry_mut(vpage) {
+            Some(EntryMut::Base(p)) => std::mem::replace(&mut p.frame, new_frame),
+            Some(EntryMut::Huge(h)) => std::mem::replace(&mut h.frame, new_frame),
+            None => unreachable!(),
+        };
+        self.tiers[src.0 as usize].free(old_frame, tr.size);
+        self.tlb.invalidate(vpage, tr.size);
+        self.stats.shootdowns += 1;
+
+        let bytes = tr.size.bytes();
+        let bw = self
+            .cfg
+            .tier(src)
+            .copy_bw_bytes_per_ns
+            .min(self.cfg.tier(dst).copy_bw_bytes_per_ns);
+        let cost = bytes as f64 / bw + self.cfg.costs.tlb_shootdown_ns;
+
+        let pages_4k = bytes / BASE_PAGE_SIZE;
+        if dst.0 < src.0 {
+            self.stats.migration.promoted_4k += pages_4k;
+        } else {
+            self.stats.migration.demoted_4k += pages_4k;
+        }
+        self.stats.migration.migrated_bytes += bytes;
+
+        Ok(MigrateOutcome {
+            cost_ns: cost,
+            from: src,
+            to: dst,
+        })
+    }
+
+    /// Splits the huge page at `vpage` in place (same frames become 512
+    /// individually-managed base pages). When `free_zero_subpages` is set,
+    /// never-written subpages are unmapped and freed, reclaiming THP bloat
+    /// (§4.3.3).
+    pub fn split_huge(&mut self, vpage: VirtPage, free_zero_subpages: bool) -> SimResult<SplitOutcome> {
+        let old = self.pt.split_huge(vpage)?;
+        let tier = self.tier_of_frame(old.frame);
+        self.tiers[tier.0 as usize].split_used_huge(old.frame);
+        self.tlb.invalidate(vpage, PageSize::Huge);
+        self.stats.shootdowns += 1;
+        self.stats.migration.splits += 1;
+
+        let mut freed = 0u32;
+        if free_zero_subpages {
+            for i in 0..NR_SUBPAGES as usize {
+                if !old.subpage_written(i) {
+                    let sub = vpage.add(i as u64);
+                    let pte = self.pt.unmap_base(sub).expect("subpage just mapped");
+                    self.tiers[tier.0 as usize].free_base(pte.frame);
+                    freed += 1;
+                }
+            }
+            self.stats.migration.zero_subpages_freed += freed as u64;
+        }
+
+        let cost = self.cfg.costs.tlb_shootdown_ns + NR_SUBPAGES as f64 * PTE_UPDATE_NS;
+        Ok(SplitOutcome {
+            zero_subpages_freed: freed,
+            cost_ns: cost,
+        })
+    }
+
+    /// Collapses 512 base mappings at `vpage` into one huge page on `tier`,
+    /// allocating a fresh huge frame and copying (khugepaged-style).
+    pub fn collapse_huge(&mut self, vpage: VirtPage, tier: TierId) -> SimResult<MigrateOutcome> {
+        if !vpage.is_huge_aligned() {
+            return Err(SimError::Unaligned(vpage));
+        }
+        let new_frame = self.tiers[tier.0 as usize].alloc_huge()?;
+        let old = match self.pt.collapse_huge(vpage, new_frame) {
+            Ok(o) => o,
+            Err(e) => {
+                self.tiers[tier.0 as usize].free_huge(new_frame);
+                return Err(e);
+            }
+        };
+        let mut src = tier;
+        for pte in &old {
+            let t = self.tier_of_frame(pte.frame);
+            src = t;
+            self.tiers[t.0 as usize].free_base(pte.frame);
+        }
+        self.tlb.invalidate(vpage, PageSize::Base);
+        self.stats.shootdowns += 1;
+        self.stats.migration.collapses += 1;
+
+        let bytes = PageSize::Huge.bytes();
+        let bw = self.cfg.tier(tier).copy_bw_bytes_per_ns;
+        let cost = bytes as f64 / bw
+            + self.cfg.costs.tlb_shootdown_ns
+            + NR_SUBPAGES as f64 * PTE_UPDATE_NS;
+        Ok(MigrateOutcome {
+            cost_ns: cost,
+            from: src,
+            to: tier,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessKind;
+    use crate::addr::HUGE_PAGE_SIZE;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::dram_nvm(4 * HUGE_PAGE_SIZE, 16 * HUGE_PAGE_SIZE))
+    }
+
+    #[test]
+    fn tier_layout_is_contiguous_and_disjoint() {
+        let m = machine();
+        assert_eq!(m.tier_count(), 2);
+        assert_eq!(m.tier_of_frame(Frame(0)), TierId::FAST);
+        assert_eq!(m.tier_of_frame(Frame(4 * 512 - 1)), TierId::FAST);
+        assert_eq!(m.tier_of_frame(Frame(4 * 512)), TierId::CAPACITY);
+        assert_eq!(m.capacity_bytes(TierId::FAST), 4 * HUGE_PAGE_SIZE);
+        assert_eq!(m.capacity_bytes(TierId::CAPACITY), 16 * HUGE_PAGE_SIZE);
+    }
+
+    #[test]
+    fn access_unmapped_faults() {
+        let mut m = machine();
+        assert!(matches!(
+            m.access(Access::load(0x1000)),
+            Err(SimError::NotMapped(_))
+        ));
+    }
+
+    #[test]
+    fn access_cost_breakdown() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Base, TierId::CAPACITY)
+            .unwrap();
+        // First access: TLB miss (4-level walk) + LLC miss + NVM load.
+        let o1 = m.access(Access::load(0)).unwrap();
+        assert!(o1.tlb_miss && o1.llc_miss);
+        assert_eq!(o1.tier, TierId::CAPACITY);
+        assert_eq!(o1.latency_ns, 4.0 * 25.0 + 300.0);
+        // Same line again: TLB hit + LLC hit.
+        let o2 = m.access(Access::load(8)).unwrap();
+        assert!(!o2.tlb_miss && !o2.llc_miss);
+        assert_eq!(o2.latency_ns, 30.0);
+        // A store misses the line but hits the TLB: NVM store latency.
+        let o3 = m.access(Access::store(64)).unwrap();
+        assert!(o3.llc_miss && !o3.tlb_miss);
+        assert_eq!(o3.latency_ns, 400.0);
+    }
+
+    #[test]
+    fn huge_mapping_walks_three_levels() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+            .unwrap();
+        let o = m.access(Access::load(5 * 4096)).unwrap();
+        assert_eq!(o.page_size, PageSize::Huge);
+        assert_eq!(o.latency_ns, 3.0 * 25.0 + 100.0);
+    }
+
+    #[test]
+    fn store_marks_subpage_written() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+            .unwrap();
+        m.access(Access::store(17 * 4096 + 5)).unwrap();
+        let h = m.huge_entry(VirtPage(0)).unwrap();
+        assert!(h.subpage_written(17));
+        assert!(!h.subpage_written(16));
+    }
+
+    #[test]
+    fn migrate_moves_page_and_preserves_flags() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(3), PageSize::Base, TierId::CAPACITY)
+            .unwrap();
+        m.access(Access::store(3 * 4096)).unwrap();
+        let out = m.migrate(VirtPage(3), TierId::FAST).unwrap();
+        assert_eq!(out.from, TierId::CAPACITY);
+        assert_eq!(out.to, TierId::FAST);
+        assert!(out.cost_ns > 0.0);
+        let (tier, size) = m.locate(VirtPage(3)).unwrap();
+        assert_eq!(tier, TierId::FAST);
+        assert_eq!(size, PageSize::Base);
+        // The ever-written bit survived.
+        if let Some(EntryMut::Base(p)) = m.pt.entry_mut(VirtPage(3)) {
+            assert!(p.ever_written);
+        } else {
+            panic!("expected base mapping");
+        }
+        assert_eq!(m.stats.migration.promoted_4k, 1);
+        // Free space accounting moved between tiers.
+        assert_eq!(m.free_bytes(TierId::CAPACITY), 16 * HUGE_PAGE_SIZE);
+    }
+
+    #[test]
+    fn migrate_to_full_tier_fails() {
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 4 * HUGE_PAGE_SIZE));
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+            .unwrap();
+        m.alloc_and_map(VirtPage(512), PageSize::Huge, TierId::CAPACITY)
+            .unwrap();
+        assert!(matches!(
+            m.migrate(VirtPage(512), TierId::FAST),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn split_frees_zero_subpages() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+            .unwrap();
+        // Write only 3 subpages.
+        for i in [0u64, 7, 500] {
+            m.access(Access::store(i * 4096)).unwrap();
+        }
+        let rss_before = m.rss_bytes();
+        let out = m.split_huge(VirtPage(0), true).unwrap();
+        assert_eq!(out.zero_subpages_freed, 509);
+        assert_eq!(m.rss_bytes(), rss_before - 509 * 4096);
+        // Written subpages still mapped, now as base pages, same tier.
+        assert_eq!(m.locate(VirtPage(7)), Some((TierId::FAST, PageSize::Base)));
+        assert_eq!(m.locate(VirtPage(1)), None);
+        // Freed frames are allocatable again.
+        assert_eq!(
+            m.free_bytes(TierId::FAST),
+            3 * HUGE_PAGE_SIZE + 509 * 4096
+        );
+    }
+
+    #[test]
+    fn split_then_migrate_subpages_individually() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::CAPACITY)
+            .unwrap();
+        for i in 0..512u64 {
+            m.access(Access::store(i * 4096)).unwrap();
+        }
+        m.split_huge(VirtPage(0), true).unwrap();
+        let out = m.migrate(VirtPage(9), TierId::FAST).unwrap();
+        assert_eq!(out.to, TierId::FAST);
+        assert_eq!(m.locate(VirtPage(9)), Some((TierId::FAST, PageSize::Base)));
+        assert_eq!(
+            m.locate(VirtPage(10)),
+            Some((TierId::CAPACITY, PageSize::Base))
+        );
+    }
+
+    #[test]
+    fn collapse_gathers_scattered_subpages() {
+        let mut m = machine();
+        for i in 0..512u64 {
+            let tier = if i % 2 == 0 {
+                TierId::FAST
+            } else {
+                TierId::CAPACITY
+            };
+            m.alloc_and_map(VirtPage(i), PageSize::Base, tier).unwrap();
+        }
+        let out = m.collapse_huge(VirtPage(0), TierId::FAST).unwrap();
+        assert_eq!(out.to, TierId::FAST);
+        assert_eq!(m.locate(VirtPage(77)), Some((TierId::FAST, PageSize::Huge)));
+        assert_eq!(m.mapped_huge_pages(), 1);
+        assert_eq!(m.mapped_base_pages(), 0);
+    }
+
+    #[test]
+    fn hint_fault_fires_once() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Base, TierId::FAST)
+            .unwrap();
+        assert!(m.set_hint(VirtPage(0)));
+        let o1 = m.access(Access::load(0)).unwrap();
+        assert!(o1.hint_fault);
+        assert!(o1.latency_ns >= 300.0);
+        let o2 = m.access(Access::load(0)).unwrap();
+        assert!(!o2.hint_fault);
+        assert_eq!(m.stats.hint_faults, 1);
+    }
+
+    #[test]
+    fn fallback_allocation_order() {
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 2 * HUGE_PAGE_SIZE));
+        let order = [TierId::FAST, TierId::CAPACITY];
+        let (t1, _) = m
+            .alloc_and_map_fallback(VirtPage(0), PageSize::Huge, &order)
+            .unwrap();
+        assert_eq!(t1, TierId::FAST);
+        let (t2, _) = m
+            .alloc_and_map_fallback(VirtPage(512), PageSize::Huge, &order)
+            .unwrap();
+        assert_eq!(t2, TierId::CAPACITY);
+        let (t3, _) = m
+            .alloc_and_map_fallback(VirtPage(1024), PageSize::Huge, &order)
+            .unwrap();
+        assert_eq!(t3, TierId::CAPACITY);
+        assert!(matches!(
+            m.alloc_and_map_fallback(VirtPage(1536), PageSize::Huge, &order),
+            Err(SimError::GlobalOutOfMemory)
+        ));
+    }
+
+    #[test]
+    fn unmap_and_free_returns_space() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+            .unwrap();
+        let before = m.free_bytes(TierId::FAST);
+        m.unmap_and_free(VirtPage(0), PageSize::Huge).unwrap();
+        assert_eq!(m.free_bytes(TierId::FAST), before + HUGE_PAGE_SIZE);
+        assert_eq!(m.rss_bytes(), 0);
+    }
+
+    #[test]
+    fn access_kinds_counted() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Base, TierId::FAST)
+            .unwrap();
+        m.access(Access {
+            vaddr: crate::addr::VirtAddr(0),
+            kind: AccessKind::Load,
+        })
+        .unwrap();
+        m.access(Access::store(0)).unwrap();
+        assert_eq!(m.stats.loads, 1);
+        assert_eq!(m.stats.stores, 1);
+    }
+}

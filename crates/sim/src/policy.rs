@@ -1,0 +1,344 @@
+//! The tiering-policy interface and the cost-attributing operations handle.
+//!
+//! A [`TieringPolicy`] observes allocations, sampled accesses, hint faults,
+//! and periodic ticks, and reacts through a [`PolicyOps`] handle. Every
+//! mutating machine operation performed through the handle is *charged*:
+//! its nanosecond cost accumulates into either the application critical path
+//! (fault-context hooks) or the background-daemon budget (tick/sample
+//! context). This is how the simulator distinguishes systems that migrate in
+//! the page-fault handler (AutoNUMA, TPP, ...) from MEMTIS, whose entire
+//! pipeline runs in the background (§4.2.3).
+
+use crate::access::{Access, AccessOutcome};
+use crate::addr::{PageSize, TierId, VirtPage};
+use crate::error::SimResult;
+use crate::machine::{Machine, MigrateOutcome, SplitOutcome};
+use crate::page_table::EntryMut;
+
+/// Cost of visiting one page-table entry during a scan (ns).
+pub const SCAN_ENTRY_NS: f64 = 5.0;
+
+/// Where an operation's cost is attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostSink {
+    /// Application critical path (fault handlers, allocation path).
+    App,
+    /// Background daemon CPU (sampling threads, migration threads).
+    Daemon,
+}
+
+/// Static description of a policy for the paper's Table 1 taxonomy.
+#[derive(Debug, Clone)]
+pub struct PolicyDescriptor {
+    /// System name as used in the paper.
+    pub name: &'static str,
+    /// Access-tracking mechanism.
+    pub mechanism: &'static str,
+    /// Whether subpage (4 KiB within 2 MiB) accesses are tracked.
+    pub subpage_tracking: bool,
+    /// Promotion hotness metric.
+    pub promotion_metric: &'static str,
+    /// Demotion metric.
+    pub demotion_metric: &'static str,
+    /// How hotness thresholds are chosen.
+    pub thresholding: &'static str,
+    /// Which migrations run on the critical path ("None" if all background).
+    pub critical_path_migration: &'static str,
+    /// How page size is handled.
+    pub page_size_handling: &'static str,
+}
+
+/// Accounting accumulators shared between the driver and [`PolicyOps`].
+#[derive(Debug, Default, Clone)]
+pub struct CostAccounting {
+    /// Nanoseconds charged to the application critical path by policy work.
+    pub app_extra_ns: f64,
+    /// Nanoseconds of background-daemon CPU consumed.
+    pub daemon_ns: f64,
+}
+
+/// Handle through which a policy inspects and mutates the machine.
+pub struct PolicyOps<'a> {
+    machine: &'a mut Machine,
+    acct: &'a mut CostAccounting,
+    sink: CostSink,
+    now_ns: f64,
+}
+
+impl<'a> PolicyOps<'a> {
+    /// Creates a handle; used by the driver (and tests).
+    pub fn new(
+        machine: &'a mut Machine,
+        acct: &'a mut CostAccounting,
+        sink: CostSink,
+        now_ns: f64,
+    ) -> Self {
+        PolicyOps {
+            machine,
+            acct,
+            sink,
+            now_ns,
+        }
+    }
+
+    /// Current simulated wall-clock time (ns).
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Which sink costs are currently charged to.
+    pub fn sink(&self) -> CostSink {
+        self.sink
+    }
+
+    /// Read-only view of the machine.
+    pub fn machine(&self) -> &Machine {
+        self.machine
+    }
+
+    /// Charges `ns` of CPU time to the current sink.
+    pub fn charge(&mut self, ns: f64) {
+        match self.sink {
+            CostSink::App => self.acct.app_extra_ns += ns,
+            CostSink::Daemon => self.acct.daemon_ns += ns,
+        }
+    }
+
+    /// Migrates a page; the cost is charged to the current sink.
+    pub fn migrate(&mut self, vpage: VirtPage, dst: TierId) -> SimResult<MigrateOutcome> {
+        let out = self.machine.migrate(vpage, dst)?;
+        self.charge(out.cost_ns);
+        Ok(out)
+    }
+
+    /// Splits a huge page; the cost is charged to the current sink.
+    pub fn split_huge(
+        &mut self,
+        vpage: VirtPage,
+        free_zero_subpages: bool,
+    ) -> SimResult<SplitOutcome> {
+        let out = self.machine.split_huge(vpage, free_zero_subpages)?;
+        self.charge(out.cost_ns);
+        Ok(out)
+    }
+
+    /// Collapses 512 base pages into a huge page on `tier`; cost charged.
+    pub fn collapse_huge(&mut self, vpage: VirtPage, tier: TierId) -> SimResult<MigrateOutcome> {
+        let out = self.machine.collapse_huge(vpage, tier)?;
+        self.charge(out.cost_ns);
+        Ok(out)
+    }
+
+    /// Arms a NUMA-hint fault on the mapping covering `vpage`.
+    pub fn set_hint(&mut self, vpage: VirtPage) -> bool {
+        self.machine.set_hint(vpage)
+    }
+
+    /// Scans all mapped page-table entries, charging [`SCAN_ENTRY_NS`] per
+    /// visited entry — the cost that makes PT scanning unscalable for large
+    /// memory (Insight #1).
+    pub fn scan_entries(&mut self, mut f: impl FnMut(VirtPage, EntryMut<'_>)) {
+        let mut n = 0u64;
+        self.machine.scan_entries(|v, e| {
+            n += 1;
+            f(v, e)
+        });
+        self.charge(n as f64 * SCAN_ENTRY_NS);
+    }
+
+    /// Convenience: tier and mapping size of `vpage`.
+    pub fn locate(&self, vpage: VirtPage) -> Option<(TierId, PageSize)> {
+        self.machine.locate(vpage)
+    }
+
+    /// Free bytes on `tier`.
+    pub fn free_bytes(&self, tier: TierId) -> u64 {
+        self.machine.free_bytes(tier)
+    }
+
+    /// Capacity of `tier` in bytes.
+    pub fn capacity_bytes(&self, tier: TierId) -> u64 {
+        self.machine.capacity_bytes(tier)
+    }
+}
+
+/// A tiered-memory management policy.
+///
+/// All hooks receive a [`PolicyOps`] whose cost sink is pre-set by the
+/// driver: `App` for `alloc_tier`/`on_hint_fault`/`on_demand_fault`, `Daemon`
+/// for `on_access`/`tick`.
+pub trait TieringPolicy {
+    /// Taxonomy entry (paper Table 1).
+    fn descriptor(&self) -> PolicyDescriptor;
+
+    /// Called once before the run starts.
+    fn init(&mut self, _ops: &mut PolicyOps<'_>) {}
+
+    /// Chooses the tier for a new allocation. The driver falls back to other
+    /// tiers if the preferred one is full.
+    ///
+    /// The default prefers the fast tier while it has room — the paper notes
+    /// "MEMTIS allocates pages on the fast tier whenever available" and most
+    /// compared systems behave likewise.
+    fn alloc_tier(&mut self, ops: &mut PolicyOps<'_>, _vpage: VirtPage, size: PageSize) -> TierId {
+        if ops.free_bytes(TierId::FAST) >= size.bytes() {
+            TierId::FAST
+        } else {
+            TierId::CAPACITY
+        }
+    }
+
+    /// Notification that a page was mapped (new allocation or demand fault).
+    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, _vpage: VirtPage, _size: PageSize, _tier: TierId) {
+    }
+
+    /// Notification that a page was unmapped by the workload.
+    fn on_free(&mut self, _ops: &mut PolicyOps<'_>, _vpage: VirtPage, _size: PageSize) {}
+
+    /// Observes one executed access (the outcome says whether it missed the
+    /// LLC, which tier served it, etc.). Sampling-based policies filter here.
+    fn on_access(&mut self, _ops: &mut PolicyOps<'_>, _access: &Access, _outcome: &AccessOutcome) {}
+
+    /// A NUMA-hint fault fired on `vpage` (the fault trap cost was already
+    /// charged to the application by the machine).
+    fn on_hint_fault(&mut self, _ops: &mut PolicyOps<'_>, _vpage: VirtPage) {}
+
+    /// Periodic background tick (daemon context).
+    fn tick(&mut self, _ops: &mut PolicyOps<'_>) {}
+
+    /// Cores consumed by always-on dedicated daemon threads (e.g. HeMem's
+    /// busy sampling thread), on top of work charged through [`PolicyOps`].
+    fn dedicated_daemon_cores(&self) -> f64 {
+        0.0
+    }
+
+    /// Policy-specific timeline metrics, sampled by the driver each snapshot
+    /// (e.g. MEMTIS hot/warm/cold set sizes for Fig. 9).
+    fn timeline(&self, _out: &mut Vec<(&'static str, f64)>) {}
+}
+
+impl TieringPolicy for Box<dyn TieringPolicy> {
+    fn descriptor(&self) -> PolicyDescriptor {
+        (**self).descriptor()
+    }
+    fn init(&mut self, ops: &mut PolicyOps<'_>) {
+        (**self).init(ops)
+    }
+    fn alloc_tier(&mut self, ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize) -> TierId {
+        (**self).alloc_tier(ops, vpage, size)
+    }
+    fn on_alloc(&mut self, ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, tier: TierId) {
+        (**self).on_alloc(ops, vpage, size, tier)
+    }
+    fn on_free(&mut self, ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize) {
+        (**self).on_free(ops, vpage, size)
+    }
+    fn on_access(&mut self, ops: &mut PolicyOps<'_>, access: &Access, outcome: &AccessOutcome) {
+        (**self).on_access(ops, access, outcome)
+    }
+    fn on_hint_fault(&mut self, ops: &mut PolicyOps<'_>, vpage: VirtPage) {
+        (**self).on_hint_fault(ops, vpage)
+    }
+    fn tick(&mut self, ops: &mut PolicyOps<'_>) {
+        (**self).tick(ops)
+    }
+    fn dedicated_daemon_cores(&self) -> f64 {
+        (**self).dedicated_daemon_cores()
+    }
+    fn timeline(&self, out: &mut Vec<(&'static str, f64)>) {
+        (**self).timeline(out)
+    }
+}
+
+/// A no-op policy: pages stay wherever allocation placed them.
+///
+/// With a fast-tier-first default this is "first touch"; it is also the
+/// building block for the all-DRAM / all-NVM static baselines.
+#[derive(Debug, Default)]
+pub struct NoopPolicy;
+
+impl TieringPolicy for NoopPolicy {
+    fn descriptor(&self) -> PolicyDescriptor {
+        PolicyDescriptor {
+            name: "FirstTouch",
+            mechanism: "None",
+            subpage_tracking: false,
+            promotion_metric: "-",
+            demotion_metric: "-",
+            thresholding: "-",
+            critical_path_migration: "None",
+            page_size_handling: "None",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::HUGE_PAGE_SIZE;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn costs_route_to_the_selected_sink() {
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 4 * HUGE_PAGE_SIZE));
+        let mut acct = CostAccounting::default();
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::App, 0.0);
+            ops.charge(10.0);
+        }
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+            ops.charge(7.0);
+        }
+        assert_eq!(acct.app_extra_ns, 10.0);
+        assert_eq!(acct.daemon_ns, 7.0);
+    }
+
+    #[test]
+    fn migrate_through_ops_charges_cost() {
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 4 * HUGE_PAGE_SIZE));
+        m.alloc_and_map(VirtPage(0), PageSize::Base, TierId::CAPACITY)
+            .unwrap();
+        let mut acct = CostAccounting::default();
+        let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+        let out = ops.migrate(VirtPage(0), TierId::FAST).unwrap();
+        assert!(acct.daemon_ns >= out.cost_ns);
+        assert_eq!(acct.app_extra_ns, 0.0);
+    }
+
+    #[test]
+    fn scan_charges_per_entry() {
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 4 * HUGE_PAGE_SIZE));
+        for i in 0..10u64 {
+            m.alloc_and_map(VirtPage(i), PageSize::Base, TierId::FAST)
+                .unwrap();
+        }
+        let mut acct = CostAccounting::default();
+        let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+        let mut n = 0;
+        ops.scan_entries(|_, _| n += 1);
+        assert_eq!(n, 10);
+        assert_eq!(acct.daemon_ns, 10.0 * SCAN_ENTRY_NS);
+    }
+
+    #[test]
+    fn default_alloc_tier_prefers_fast_until_full() {
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 4 * HUGE_PAGE_SIZE));
+        let mut acct = CostAccounting::default();
+        let mut p = NoopPolicy;
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::App, 0.0);
+            assert_eq!(
+                p.alloc_tier(&mut ops, VirtPage(0), PageSize::Huge),
+                TierId::FAST
+            );
+        }
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+            .unwrap();
+        let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::App, 0.0);
+        assert_eq!(
+            p.alloc_tier(&mut ops, VirtPage(512), PageSize::Huge),
+            TierId::CAPACITY
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic collection aliases.
+//!
+//! The simulator guarantees bit-identical results for identical seeds, but
+//! `std::collections::HashMap`'s default hasher is randomly keyed per
+//! process, which leaks into any code that *iterates* a map (cooling walks,
+//! victim scans). These aliases pin the hasher to a fixed-key SipHash so
+//! iteration order is stable across runs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::BuildHasherDefault;
+
+/// A `HashMap` with a deterministic (fixed-key) hasher.
+pub type DetHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<DefaultHasher>>;
+
+/// A `HashSet` with a deterministic (fixed-key) hasher.
+pub type DetHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<DefaultHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_stable() {
+        let build = || {
+            let mut m: DetHashMap<u64, u64> = DetHashMap::default();
+            for i in 0..1000 {
+                m.insert(i * 7919 % 997, i);
+            }
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,240 @@
+//! Two-queue (active/inactive) LRU lists.
+//!
+//! The substrate beneath TPP and MULTI-CLOCK: a page enters the inactive
+//! list on first sight and is *activated* on its second access — the static
+//! "accessed twice" hotness threshold the paper criticizes. Eviction
+//! (demotion) candidates come from the inactive tail; aging moves stale
+//! active pages back to inactive.
+//!
+//! Implemented as generation-tagged queues with a hash map as the source of
+//! truth, giving O(1) amortized operations with lazy removal of stale queue
+//! entries.
+
+use memtis_sim::prelude::{DetHashMap, VirtPage};
+use std::collections::VecDeque;
+
+/// Which list a page is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListKind {
+    /// Recently activated pages (hot candidates).
+    Active,
+    /// Newly seen or aged pages (eviction candidates).
+    Inactive,
+}
+
+/// Result of recording an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The page is not tracked.
+    NotTracked,
+    /// Second access: the page moved from inactive to active.
+    Activated,
+    /// The page was already active (position refreshed).
+    StillActive,
+}
+
+/// The two-queue structure.
+#[derive(Debug, Default)]
+pub struct Lru2Q {
+    map: DetHashMap<VirtPage, (ListKind, u64)>,
+    active: VecDeque<(VirtPage, u64)>,
+    inactive: VecDeque<(VirtPage, u64)>,
+    next_gen: u64,
+    active_len: usize,
+    inactive_len: usize,
+}
+
+impl Lru2Q {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pages on the active list.
+    pub fn active_len(&self) -> usize {
+        self.active_len
+    }
+
+    /// Pages on the inactive list.
+    pub fn inactive_len(&self) -> usize {
+        self.inactive_len
+    }
+
+    /// Total tracked pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no page is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `page` is tracked, and on which list.
+    pub fn list_of(&self, page: VirtPage) -> Option<ListKind> {
+        self.map.get(&page).map(|(k, _)| *k)
+    }
+
+    fn fresh_gen(&mut self) -> u64 {
+        self.next_gen += 1;
+        self.next_gen
+    }
+
+    /// Starts tracking `page` on the inactive list (first sight). Re-inserts
+    /// to the inactive head if already tracked.
+    pub fn insert_inactive(&mut self, page: VirtPage) {
+        let gen = self.fresh_gen();
+        match self.map.insert(page, (ListKind::Inactive, gen)) {
+            Some((ListKind::Active, _)) => {
+                self.active_len -= 1;
+                self.inactive_len += 1;
+            }
+            Some((ListKind::Inactive, _)) => {}
+            None => self.inactive_len += 1,
+        }
+        self.inactive.push_back((page, gen));
+    }
+
+    /// Records an access: inactive pages are activated (the "second access"
+    /// promotion rule), active pages are refreshed.
+    pub fn on_access(&mut self, page: VirtPage) -> AccessResult {
+        let Some(&(kind, _)) = self.map.get(&page) else {
+            return AccessResult::NotTracked;
+        };
+        let gen = self.fresh_gen();
+        self.map.insert(page, (ListKind::Active, gen));
+        self.active.push_back((page, gen));
+        match kind {
+            ListKind::Inactive => {
+                self.inactive_len -= 1;
+                self.active_len += 1;
+                AccessResult::Activated
+            }
+            ListKind::Active => AccessResult::StillActive,
+        }
+    }
+
+    /// Stops tracking `page`.
+    pub fn remove(&mut self, page: VirtPage) {
+        if let Some((kind, _)) = self.map.remove(&page) {
+            match kind {
+                ListKind::Active => self.active_len -= 1,
+                ListKind::Inactive => self.inactive_len -= 1,
+            }
+        }
+    }
+
+    /// Pops the coldest inactive page (eviction/demotion victim).
+    pub fn pop_inactive(&mut self) -> Option<VirtPage> {
+        while let Some((page, gen)) = self.inactive.pop_front() {
+            if self.map.get(&page) == Some(&(ListKind::Inactive, gen)) {
+                self.map.remove(&page);
+                self.inactive_len -= 1;
+                return Some(page);
+            }
+        }
+        None
+    }
+
+    /// Ages the oldest active page back to the inactive list; returns it.
+    pub fn deactivate_oldest(&mut self) -> Option<VirtPage> {
+        while let Some((page, gen)) = self.active.pop_front() {
+            if self.map.get(&page) == Some(&(ListKind::Active, gen)) {
+                let g = self.fresh_gen();
+                self.map.insert(page, (ListKind::Inactive, g));
+                self.inactive.push_back((page, g));
+                self.active_len -= 1;
+                self.inactive_len += 1;
+                return Some(page);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_access_activates() {
+        let mut q = Lru2Q::new();
+        q.insert_inactive(VirtPage(1));
+        assert_eq!(q.list_of(VirtPage(1)), Some(ListKind::Inactive));
+        assert_eq!(q.on_access(VirtPage(1)), AccessResult::Activated);
+        assert_eq!(q.list_of(VirtPage(1)), Some(ListKind::Active));
+        assert_eq!(q.on_access(VirtPage(1)), AccessResult::StillActive);
+        assert_eq!(q.on_access(VirtPage(9)), AccessResult::NotTracked);
+        assert_eq!(q.active_len(), 1);
+        assert_eq!(q.inactive_len(), 0);
+    }
+
+    #[test]
+    fn pop_inactive_is_fifo_and_skips_activated() {
+        let mut q = Lru2Q::new();
+        for i in 0..4u64 {
+            q.insert_inactive(VirtPage(i));
+        }
+        q.on_access(VirtPage(0)); // Activated: no longer an eviction victim.
+        assert_eq!(q.pop_inactive(), Some(VirtPage(1)));
+        assert_eq!(q.pop_inactive(), Some(VirtPage(2)));
+        assert_eq!(q.pop_inactive(), Some(VirtPage(3)));
+        assert_eq!(q.pop_inactive(), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn deactivate_ages_oldest_active() {
+        let mut q = Lru2Q::new();
+        for i in 0..3u64 {
+            q.insert_inactive(VirtPage(i));
+            q.on_access(VirtPage(i));
+        }
+        assert_eq!(q.deactivate_oldest(), Some(VirtPage(0)));
+        assert_eq!(q.list_of(VirtPage(0)), Some(ListKind::Inactive));
+        // Refreshing 1 pushes it behind 2 in age order.
+        q.on_access(VirtPage(1));
+        assert_eq!(q.deactivate_oldest(), Some(VirtPage(2)));
+        assert_eq!(q.active_len(), 1);
+        assert_eq!(q.inactive_len(), 2);
+    }
+
+    #[test]
+    fn remove_untracks() {
+        let mut q = Lru2Q::new();
+        q.insert_inactive(VirtPage(5));
+        q.remove(VirtPage(5));
+        assert!(q.is_empty());
+        assert_eq!(q.pop_inactive(), None);
+    }
+
+    #[test]
+    fn reinsert_moves_back_to_inactive() {
+        let mut q = Lru2Q::new();
+        q.insert_inactive(VirtPage(7));
+        q.on_access(VirtPage(7));
+        assert_eq!(q.active_len(), 1);
+        q.insert_inactive(VirtPage(7));
+        assert_eq!(q.active_len(), 0);
+        assert_eq!(q.inactive_len(), 1);
+        assert_eq!(q.pop_inactive(), Some(VirtPage(7)));
+    }
+
+    #[test]
+    fn counts_stay_consistent_under_churn() {
+        let mut q = Lru2Q::new();
+        for i in 0..100u64 {
+            q.insert_inactive(VirtPage(i % 10));
+            if i % 3 == 0 {
+                q.on_access(VirtPage(i % 10));
+            }
+            if i % 7 == 0 {
+                q.pop_inactive();
+            }
+            if i % 11 == 0 {
+                q.deactivate_oldest();
+            }
+            assert_eq!(q.active_len() + q.inactive_len(), q.len());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Btree — in-memory index random-lookup benchmark (Mitosis workload).
+//!
+//! Paper traits (Table 2, §6.2.5, Fig. 11): 38.3 GiB RSS with THP but only
+//! 15.2 GiB without — severe THP memory bloat: ~60% of subpages are never
+//! written. Huge-page utilization is 8.3–12.5% and access skew is high, so
+//! MEMTIS's split both raises the fast-tier hit ratio (+19.92% in Fig. 12)
+//! and *reclaims bloat* by freeing all-zero subpages (38.3 → 27.2 GiB at
+//! 1:8). The lower huge-page ratio (75.2%) reflects base-page metadata.
+
+use crate::scale::Scale;
+use crate::spec::{assign_addresses, OpMix, Pattern, PhaseSpec, RegionSpec, WorkloadSpec};
+
+/// Paper resident set size with THP (GiB).
+pub const PAPER_RSS_GB: f64 = 38.3;
+/// Paper resident set size without THP (GiB) — the bloat-free footprint.
+pub const PAPER_RSS_NO_THP_GB: f64 = 15.2;
+/// Paper ratio of huge pages allocated with THP.
+pub const PAPER_RHP: f64 = 0.752;
+/// Table 2 description.
+pub const DESCRIPTION: &str = "In-memory index lookup benchmark";
+
+/// Builds the workload at the given scale with a total access budget.
+pub fn spec(scale: Scale, total_accesses: u64) -> WorkloadSpec {
+    // Touched fraction chosen so THP RSS / no-THP RSS matches the paper.
+    let touched = PAPER_RSS_NO_THP_GB / PAPER_RSS_GB * 0.95;
+    let mut regions = vec![
+        RegionSpec::scattered("nodes", scale.gb_frac(PAPER_RSS_GB, 0.74), true, touched),
+        RegionSpec::dense("values", scale.gb_frac(PAPER_RSS_GB, 0.24), false),
+    ];
+    assign_addresses(&mut regions);
+
+    let populate = total_accesses / 5;
+    let lookups = total_accesses - populate;
+    let phases = vec![
+        PhaseSpec {
+            name: "populate",
+            accesses: populate,
+            alloc: vec![0, 1],
+            free: vec![],
+            ops: vec![
+                OpMix {
+                    region: 0,
+                    weight: 0.75,
+                    pattern: Pattern::Sequential,
+                    store_fraction: 1.0,
+                    rank_offset: 0,
+                },
+                OpMix {
+                    region: 1,
+                    weight: 0.25,
+                    pattern: Pattern::Sequential,
+                    store_fraction: 1.0,
+                    rank_offset: 0,
+                },
+            ],
+        },
+        PhaseSpec {
+            name: "lookup",
+            accesses: lookups,
+            alloc: vec![],
+            free: vec![],
+            ops: vec![
+                OpMix {
+                    region: 0,
+                    weight: 0.85,
+                    pattern: Pattern::Zipf(0.9),
+                    store_fraction: 0.0,
+                    rank_offset: 0,
+                },
+                OpMix {
+                    region: 1,
+                    weight: 0.15,
+                    pattern: Pattern::Zipf(0.8),
+                    store_fraction: 0.0,
+                    rank_offset: 0,
+                },
+            ],
+        },
+    ];
+    WorkloadSpec {
+        name: "Btree".into(),
+        regions,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_valid() {
+        spec(Scale::DEFAULT, 100_000).validate().unwrap();
+    }
+
+    #[test]
+    fn bloat_matches_paper_ratio() {
+        let s = spec(Scale::DEFAULT, 100);
+        let nodes = &s.regions[0];
+        let touched = nodes.slots as f64 / nodes.subpages() as f64;
+        // ~40% of subpages hold data; the rest is THP bloat.
+        assert!((0.30..0.45).contains(&touched), "touched = {touched}");
+    }
+
+    #[test]
+    fn huge_page_fraction_matches_rhp() {
+        let s = spec(Scale::DEFAULT, 100);
+        let thp_bytes: u64 = s.regions.iter().filter(|r| r.thp).map(|r| r.bytes).sum();
+        let rhp = thp_bytes as f64 / s.total_bytes() as f64;
+        assert!((rhp - PAPER_RHP).abs() < 0.05, "rhp = {rhp}");
+    }
+}

@@ -1,0 +1,113 @@
+//! 603.bwaves_s — explosion modeling from SPEC CPU 2017.
+//!
+//! Paper traits (Table 2, §6.2.6): 11.1 GiB RSS, 99.5% huge pages. The
+//! distinguishing behaviour is the mix of long-lived solver arrays with
+//! repeatedly allocated and freed *short-lived* data. Systems that keep free
+//! headroom in the fast tier (Tiering-0.8, TPP, MEMTIS) serve the short-lived
+//! allocations from fast memory; AutoTiering reserves free pages only for
+//! promotion and loses here. The churn also keeps MEMTIS's measured fast-tier
+//! hit ratio (rHR) low — hot pages are repeatedly demoted to keep headroom —
+//! which is why the split brings no gain on this workload (Fig. 12).
+
+use crate::scale::Scale;
+use crate::spec::{assign_addresses, OpMix, Pattern, PhaseSpec, RegionSpec, WorkloadSpec};
+
+/// Paper resident set size (GiB).
+pub const PAPER_RSS_GB: f64 = 11.1;
+/// Paper ratio of huge pages allocated with THP.
+pub const PAPER_RHP: f64 = 0.995;
+/// Table 2 description.
+pub const DESCRIPTION: &str = "Explosion modeling in SPEC CPU 2017";
+
+/// Number of allocate/compute/free cycles for the short-lived data.
+pub const CYCLES: usize = 10;
+
+/// Builds the workload at the given scale with a total access budget.
+pub fn spec(scale: Scale, total_accesses: u64) -> WorkloadSpec {
+    let mut regions = vec![
+        RegionSpec::dense("arrays", scale.gb_frac(PAPER_RSS_GB, 0.92), true),
+        RegionSpec::dense("scratch", scale.gb_frac(PAPER_RSS_GB, 0.05), true),
+    ];
+    assign_addresses(&mut regions);
+
+    let init = total_accesses / 10;
+    let per_cycle = (total_accesses - init) / CYCLES as u64;
+    let mut phases = vec![PhaseSpec {
+        name: "init",
+        accesses: init,
+        alloc: vec![0],
+        free: vec![],
+        ops: vec![OpMix {
+            region: 0,
+            weight: 1.0,
+            pattern: Pattern::Sequential,
+            store_fraction: 1.0,
+            rank_offset: 0,
+        }],
+    }];
+    for i in 0..CYCLES {
+        // Allocate scratch, compute over both, then free the scratch: the
+        // short-lived allocation pattern §6.2.6 highlights.
+        phases.push(PhaseSpec {
+            name: "timestep",
+            accesses: per_cycle,
+            alloc: vec![1],
+            free: if i == 0 { vec![] } else { vec![1] },
+            ops: vec![
+                OpMix {
+                    region: 0,
+                    weight: 0.55,
+                    pattern: Pattern::Sequential,
+                    store_fraction: 0.35,
+                    rank_offset: 0,
+                },
+                OpMix {
+                    region: 1,
+                    weight: 0.45,
+                    pattern: Pattern::Sequential,
+                    store_fraction: 0.55,
+                    rank_offset: 0,
+                },
+            ],
+        });
+    }
+    phases.push(PhaseSpec {
+        name: "teardown",
+        accesses: 0,
+        alloc: vec![],
+        free: vec![1],
+        ops: vec![],
+    });
+    WorkloadSpec {
+        name: "603.bwaves".into(),
+        regions,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtis_sim::prelude::{AccessStream, WorkloadEvent};
+
+    #[test]
+    fn spec_is_valid() {
+        spec(Scale::DEFAULT, 100_000).validate().unwrap();
+    }
+
+    #[test]
+    fn scratch_is_allocated_and_freed_repeatedly() {
+        let s = spec(Scale::TEST, 6000);
+        let mut st = crate::spec::SpecStream::new(s, 1);
+        let (mut allocs, mut frees) = (0, 0);
+        while let Some(ev) = st.next_event() {
+            match ev {
+                WorkloadEvent::Alloc { .. } => allocs += 1,
+                WorkloadEvent::Free { .. } => frees += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(allocs, 1 + CYCLES);
+        assert_eq!(frees, CYCLES);
+    }
+}

@@ -1,0 +1,35 @@
+//! # memtis-workloads — synthetic access-stream generators
+//!
+//! Synthetic, distribution-calibrated stand-ins for the eight benchmarks the
+//! MEMTIS paper evaluates (Table 2). What a tiering policy observes is the
+//! access *distribution* — hot-set size and skew, phase behaviour, subpage
+//! utilization within huge pages, THP bloat, allocation churn — and each
+//! generator reproduces the specific distributional traits the paper
+//! documents for its benchmark (see each module's docs).
+//!
+//! Workloads are described declaratively ([`spec::WorkloadSpec`]) and turned
+//! into deterministic event streams ([`spec::SpecStream`]); [`trace`]
+//! provides record/replay.
+
+pub mod btree;
+pub mod bwaves;
+pub mod dist;
+pub mod graph500;
+pub mod liblinear;
+pub mod pagerank;
+pub mod registry;
+pub mod roms;
+pub mod scale;
+pub mod silo;
+pub mod spec;
+pub mod synth;
+pub mod trace;
+pub mod xsbench;
+
+pub use registry::Benchmark;
+pub use scale::Scale;
+pub use spec::{
+    assign_addresses, OpMix, Pattern, PhaseSpec, Placement, RegionSpec, SpecStream, WorkloadSpec,
+};
+pub use synth::SynthBuilder;
+pub use trace::{TraceRecorder, TraceReplay};

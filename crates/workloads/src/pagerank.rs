@@ -1,0 +1,105 @@
+//! PageRank (GAP benchmark suite, Twitter graph).
+//!
+//! Paper traits (Table 2, §6.2.1, Fig. 2 left): 12.3 GiB RSS, 99.9% huge
+//! pages. Iterations combine a small, very hot rank/offset working set with
+//! streaming reads over the large edge array. The identified hot set is
+//! *smaller* than the fast tier, which is exactly the case where HeMem's
+//! static thresholds leave the rest of the fast tier filled with arbitrary
+//! cold pages (Fig. 2) while MEMTIS backfills it with warm pages.
+
+use crate::scale::Scale;
+use crate::spec::{assign_addresses, OpMix, Pattern, PhaseSpec, RegionSpec, WorkloadSpec};
+
+/// Paper resident set size (GiB).
+pub const PAPER_RSS_GB: f64 = 12.3;
+/// Paper ratio of huge pages allocated with THP.
+pub const PAPER_RHP: f64 = 0.999;
+/// Table 2 description.
+pub const DESCRIPTION: &str = "Compute the PageRank score of a graph (Twitter dataset)";
+
+/// Builds the workload at the given scale with a total access budget.
+pub fn spec(scale: Scale, total_accesses: u64) -> WorkloadSpec {
+    // The graph is built before the rank arrays are allocated (as in GAP),
+    // so allocation order anti-correlates with hotness: first-touch fills
+    // the fast tier with edges.
+    let mut regions = vec![
+        RegionSpec::dense("edges", scale.gb_frac(PAPER_RSS_GB, 0.88), true),
+        RegionSpec::dense("ranks", scale.gb_frac(PAPER_RSS_GB, 0.10), true),
+    ];
+    assign_addresses(&mut regions);
+
+    let build = total_accesses / 5;
+    let iters = 5u64;
+    let per_iter = (total_accesses - build) / iters;
+    let mut phases = vec![PhaseSpec {
+        name: "build",
+        accesses: build,
+        alloc: vec![0, 1],
+        free: vec![],
+        ops: vec![
+            OpMix {
+                region: 0,
+                weight: 0.9,
+                pattern: Pattern::Sequential,
+                store_fraction: 1.0,
+                rank_offset: 0,
+            },
+            OpMix {
+                region: 1,
+                weight: 0.1,
+                pattern: Pattern::Sequential,
+                store_fraction: 1.0,
+                rank_offset: 0,
+            },
+        ],
+    }];
+    for _ in 0..iters {
+        phases.push(PhaseSpec {
+            name: "iterate",
+            accesses: per_iter,
+            alloc: vec![],
+            free: vec![],
+            ops: vec![
+                OpMix {
+                    region: 1,
+                    weight: 0.55,
+                    pattern: Pattern::Zipf(0.3),
+                    store_fraction: 0.30,
+                    rank_offset: 0,
+                },
+                OpMix {
+                    region: 0,
+                    weight: 0.45,
+                    pattern: Pattern::Sequential,
+                    store_fraction: 0.0,
+                    rank_offset: 0,
+                },
+            ],
+        });
+    }
+    WorkloadSpec {
+        name: "PageRank".into(),
+        regions,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_valid() {
+        let s = spec(Scale::DEFAULT, 500_000);
+        s.validate().unwrap();
+        assert_eq!(s.total_accesses(), 500_000);
+    }
+
+    #[test]
+    fn hot_region_is_small_fraction_of_rss() {
+        let s = spec(Scale::DEFAULT, 1000);
+        let ranks = s.regions[1].bytes as f64;
+        let total = s.total_bytes() as f64;
+        assert!(ranks / total < 0.15, "ranks should be ~10% of RSS");
+    }
+}

@@ -1,0 +1,116 @@
+//! 654.roms_s — regional ocean modeling from SPEC CPU 2017.
+//!
+//! Paper traits (Table 2, §6.3.5, Fig. 1): 10.3 GiB RSS, 96.6% huge pages.
+//! Stencil sweeps over several state arrays with clearly banded per-array
+//! access frequencies — the structure visible in the paper's DAMON heat maps
+//! (Fig. 1). It is also the workload where `ksampled` throttles its PEBS
+//! period from 200 up to ~1400 to stay under its 3% CPU budget (§6.3.5),
+//! because the sweep generates a very high LLC-miss rate.
+
+use crate::scale::Scale;
+use crate::spec::{assign_addresses, OpMix, Pattern, PhaseSpec, RegionSpec, WorkloadSpec};
+
+/// Paper resident set size (GiB).
+pub const PAPER_RSS_GB: f64 = 10.3;
+/// Paper ratio of huge pages allocated with THP.
+pub const PAPER_RHP: f64 = 0.966;
+/// Table 2 description.
+pub const DESCRIPTION: &str = "Regional ocean modeling in SPEC CPU 2017";
+
+/// Builds the workload at the given scale with a total access budget.
+pub fn spec(scale: Scale, total_accesses: u64) -> WorkloadSpec {
+    // Three state-array bands with distinct access frequencies plus a small
+    // base-page region (boundary/halo buffers), giving the banded heat map.
+    // Arrays are allocated in model-initialization order, which does not
+    // match their sweep-time access frequency: the coldest state comes
+    // first, so first-touch placement is far from optimal.
+    let mut regions = vec![
+        RegionSpec::dense("state-cold", scale.gb_frac(PAPER_RSS_GB, 0.30), true),
+        RegionSpec::dense("state-mid", scale.gb_frac(PAPER_RSS_GB, 0.32), true),
+        RegionSpec::dense("state-hot", scale.gb_frac(PAPER_RSS_GB, 0.30), true),
+        RegionSpec::dense("halo", scale.gb_frac(PAPER_RSS_GB, 0.04), false),
+    ];
+    assign_addresses(&mut regions);
+
+    let init = total_accesses / 10;
+    let sweeps = 6u64;
+    let per_sweep = (total_accesses - init) / sweeps;
+    let mut phases = vec![PhaseSpec {
+        name: "init",
+        accesses: init,
+        alloc: vec![0, 1, 2, 3],
+        free: vec![],
+        ops: (0..4)
+            .map(|r| OpMix {
+                region: r,
+                weight: if r == 3 { 0.04 } else { 0.32 },
+                pattern: Pattern::Sequential,
+                store_fraction: 1.0,
+                rank_offset: 0,
+            })
+            .collect(),
+    }];
+    for _ in 0..sweeps {
+        phases.push(PhaseSpec {
+            name: "sweep",
+            accesses: per_sweep,
+            alloc: vec![],
+            free: vec![],
+            ops: vec![
+                OpMix {
+                    region: 2,
+                    weight: 0.55,
+                    pattern: Pattern::Sequential,
+                    store_fraction: 0.35,
+                    rank_offset: 0,
+                },
+                OpMix {
+                    region: 1,
+                    weight: 0.27,
+                    pattern: Pattern::Sequential,
+                    store_fraction: 0.30,
+                    rank_offset: 0,
+                },
+                OpMix {
+                    region: 0,
+                    weight: 0.10,
+                    pattern: Pattern::Sequential,
+                    store_fraction: 0.25,
+                    rank_offset: 0,
+                },
+                OpMix {
+                    region: 3,
+                    weight: 0.08,
+                    pattern: Pattern::Uniform,
+                    store_fraction: 0.50,
+                    rank_offset: 0,
+                },
+            ],
+        });
+    }
+    WorkloadSpec {
+        name: "654.roms".into(),
+        regions,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_valid() {
+        spec(Scale::DEFAULT, 100_000).validate().unwrap();
+    }
+
+    #[test]
+    fn bands_have_distinct_weights() {
+        let s = spec(Scale::TEST, 1000);
+        let sweep = &s.phases[1];
+        assert!(sweep.ops[0].weight > sweep.ops[1].weight);
+        assert!(sweep.ops[1].weight > sweep.ops[2].weight);
+        // The hottest op targets the last-allocated array.
+        assert_eq!(sweep.ops[0].region, 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Scaling between paper-testbed sizes and simulator sizes.
+//!
+//! The paper's benchmarks occupy 10–68 GiB and run for minutes on a 20-core
+//! server. The simulator shrinks all *sizes* (region footprints, fast-tier
+//! capacity, LLC) by one factor so that every ratio the mechanisms depend on
+//! — hot-set size vs fast-tier capacity, LLC reach vs working set, samples
+//! per page per cooling period — is preserved, and reports results as
+//! ratios (normalized performance), exactly like the paper.
+
+use memtis_sim::prelude::HUGE_PAGE_SIZE;
+
+/// A linear size scale (fraction of paper size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// Default scale: 1/64 of the paper footprints (66 GiB → ~1 GiB).
+    pub const DEFAULT: Scale = Scale(1.0 / 64.0);
+
+    /// A smaller scale for fast unit/integration tests (1/1024).
+    pub const TEST: Scale = Scale(1.0 / 1024.0);
+
+    /// Scales a paper size in GiB to simulator bytes, rounded up to a whole
+    /// number of 2 MiB huge pages (minimum one).
+    pub fn gb(&self, paper_gb: f64) -> u64 {
+        let bytes = paper_gb * self.0 * (1u64 << 30) as f64;
+        let hp = (bytes / HUGE_PAGE_SIZE as f64).ceil().max(1.0) as u64;
+        hp * HUGE_PAGE_SIZE
+    }
+
+    /// Scales and splits a paper size into a fraction, huge-page rounded.
+    pub fn gb_frac(&self, paper_gb: f64, frac: f64) -> u64 {
+        self.gb(paper_gb * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_shrinks_64x() {
+        let b = Scale::DEFAULT.gb(64.0);
+        assert_eq!(b, 1u64 << 30);
+    }
+
+    #[test]
+    fn rounds_to_huge_pages() {
+        let b = Scale(1.0).gb(0.001); // ~1 MiB -> one huge page.
+        assert_eq!(b, HUGE_PAGE_SIZE);
+        assert_eq!(Scale(1.0).gb(0.003) % HUGE_PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn fraction_helper() {
+        let whole = Scale::DEFAULT.gb(10.0);
+        let part = Scale::DEFAULT.gb_frac(10.0, 0.5);
+        assert!(part <= whole);
+        assert!(part >= whole / 2 - HUGE_PAGE_SIZE);
+    }
+}

@@ -1,0 +1,162 @@
+//! Access-trace recording and replay.
+//!
+//! A compact binary encoding of workload event streams, used for offline
+//! analysis (heat maps, Fig. 3 utilization scatter) and for replaying
+//! identical streams against multiple policies.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use memtis_sim::prelude::{Access, AccessKind, AccessStream, VirtAddr, WorkloadEvent};
+
+const TAG_LOAD: u8 = 0;
+const TAG_STORE: u8 = 1;
+const TAG_ALLOC: u8 = 2;
+const TAG_ALLOC_NOTHP: u8 = 3;
+const TAG_FREE: u8 = 4;
+
+/// Records the events of an inner stream while passing them through.
+pub struct TraceRecorder<S> {
+    inner: S,
+    buf: BytesMut,
+    events: u64,
+}
+
+impl<S: AccessStream> TraceRecorder<S> {
+    /// Wraps `inner`, recording every event it produces.
+    pub fn new(inner: S) -> Self {
+        TraceRecorder {
+            inner,
+            buf: BytesMut::new(),
+            events: 0,
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Finishes recording and returns the encoded trace.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+impl<S: AccessStream> AccessStream for TraceRecorder<S> {
+    fn next_event(&mut self) -> Option<WorkloadEvent> {
+        let ev = self.inner.next_event()?;
+        self.events += 1;
+        match ev {
+            WorkloadEvent::Access(a) => {
+                self.buf.put_u8(if a.is_store() { TAG_STORE } else { TAG_LOAD });
+                self.buf.put_u64_le(a.vaddr.0);
+            }
+            WorkloadEvent::Alloc { addr, bytes, thp } => {
+                self.buf.put_u8(if thp { TAG_ALLOC } else { TAG_ALLOC_NOTHP });
+                self.buf.put_u64_le(addr.0);
+                self.buf.put_u64_le(bytes);
+            }
+            WorkloadEvent::Free { addr, bytes } => {
+                self.buf.put_u8(TAG_FREE);
+                self.buf.put_u64_le(addr.0);
+                self.buf.put_u64_le(bytes);
+            }
+        }
+        Some(ev)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Replays a recorded trace as an [`AccessStream`].
+pub struct TraceReplay {
+    data: Bytes,
+    name: String,
+}
+
+impl TraceReplay {
+    /// Creates a replayer over an encoded trace.
+    pub fn new(data: Bytes, name: impl Into<String>) -> Self {
+        TraceReplay {
+            data,
+            name: name.into(),
+        }
+    }
+}
+
+impl AccessStream for TraceReplay {
+    fn next_event(&mut self) -> Option<WorkloadEvent> {
+        if !self.data.has_remaining() {
+            return None;
+        }
+        let tag = self.data.get_u8();
+        Some(match tag {
+            TAG_LOAD | TAG_STORE => {
+                let addr = self.data.get_u64_le();
+                WorkloadEvent::Access(Access {
+                    vaddr: VirtAddr(addr),
+                    kind: if tag == TAG_STORE {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    },
+                })
+            }
+            TAG_ALLOC | TAG_ALLOC_NOTHP => WorkloadEvent::Alloc {
+                addr: VirtAddr(self.data.get_u64_le()),
+                bytes: self.data.get_u64_le(),
+                thp: tag == TAG_ALLOC,
+            },
+            TAG_FREE => WorkloadEvent::Free {
+                addr: VirtAddr(self.data.get_u64_le()),
+                bytes: self.data.get_u64_le(),
+            },
+            other => panic!("corrupt trace: unknown tag {other}"),
+        })
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Benchmark;
+    use crate::scale::Scale;
+    use crate::spec::SpecStream;
+
+    fn collect(stream: &mut dyn AccessStream) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(ev) = stream.next_event() {
+            out.push(format!("{ev:?}"));
+        }
+        out
+    }
+
+    #[test]
+    fn record_replay_roundtrip() {
+        let spec = Benchmark::Silo.spec(Scale::TEST, 2000);
+        let original = collect(&mut SpecStream::new(spec.clone(), 9));
+        let mut rec = TraceRecorder::new(SpecStream::new(spec, 9));
+        let recorded = collect(&mut rec);
+        assert_eq!(original, recorded);
+        let trace = rec.finish();
+        let replayed = collect(&mut TraceReplay::new(trace, "Silo"));
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn trace_is_compact() {
+        let spec = Benchmark::Btree.spec(Scale::TEST, 1000);
+        let mut rec = TraceRecorder::new(SpecStream::new(spec, 1));
+        while rec.next_event().is_some() {}
+        let n = rec.events();
+        let trace = rec.finish();
+        // At most 17 bytes per event.
+        assert!(trace.len() as u64 <= 17 * n);
+        assert!(n >= 1000);
+    }
+}

@@ -1,0 +1,100 @@
+//! XSBench — Monte Carlo neutron-transport macroscopic cross-section lookup.
+//!
+//! Paper traits (Table 2, §6.2.2, Fig. 2 right): 63.4 GiB RSS, 100% huge
+//! pages. A very skewed hot region (the unionized energy grid) is allocated
+//! early; during the lookup phase its hot footprint *exceeds* the fast-tier
+//! capacity at 1:8/1:16 — the regime where static-threshold systems either
+//! overflow or underfill the fast tier, and where MEMTIS's
+//! distribution-driven threshold keeps exactly the hottest slice resident.
+
+use crate::scale::Scale;
+use crate::spec::{assign_addresses, OpMix, Pattern, PhaseSpec, RegionSpec, WorkloadSpec};
+
+/// Paper resident set size (GiB).
+pub const PAPER_RSS_GB: f64 = 63.4;
+/// Paper ratio of huge pages allocated with THP.
+pub const PAPER_RHP: f64 = 1.0;
+/// Table 2 description.
+pub const DESCRIPTION: &str = "Computational kernel of the Monte Carlo neutron transport algorithm";
+
+/// Builds the workload at the given scale with a total access budget.
+pub fn spec(scale: Scale, total_accesses: u64) -> WorkloadSpec {
+    let mut regions = vec![
+        RegionSpec::dense("unionized-grid", scale.gb_frac(PAPER_RSS_GB, 0.35), true),
+        RegionSpec::dense("nuclide-grids", scale.gb_frac(PAPER_RSS_GB, 0.63), true),
+    ];
+    assign_addresses(&mut regions);
+
+    let init = total_accesses * 15 / 100;
+    let lookup = total_accesses - init;
+    let phases = vec![
+        PhaseSpec {
+            name: "init",
+            accesses: init,
+            alloc: vec![0, 1],
+            free: vec![],
+            ops: vec![
+                OpMix {
+                    region: 0,
+                    weight: 0.36,
+                    pattern: Pattern::Sequential,
+                    store_fraction: 1.0,
+                    rank_offset: 0,
+                },
+                OpMix {
+                    region: 1,
+                    weight: 0.64,
+                    pattern: Pattern::Sequential,
+                    store_fraction: 1.0,
+                    rank_offset: 0,
+                },
+            ],
+        },
+        PhaseSpec {
+            name: "lookup",
+            accesses: lookup,
+            alloc: vec![],
+            free: vec![],
+            ops: vec![
+                OpMix {
+                    region: 0,
+                    weight: 0.78,
+                    pattern: Pattern::Zipf(0.65),
+                    store_fraction: 0.0,
+                    rank_offset: 0,
+                },
+                OpMix {
+                    region: 1,
+                    weight: 0.22,
+                    pattern: Pattern::Uniform,
+                    store_fraction: 0.0,
+                    rank_offset: 0,
+                },
+            ],
+        },
+    ];
+    WorkloadSpec {
+        name: "XSBench".into(),
+        regions,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_valid_and_fully_thp() {
+        let s = spec(Scale::DEFAULT, 100_000);
+        s.validate().unwrap();
+        assert!(s.regions.iter().all(|r| r.thp));
+    }
+
+    #[test]
+    fn lookup_phase_is_read_only() {
+        let s = spec(Scale::TEST, 1000);
+        let lookup = &s.phases[1];
+        assert!(lookup.ops.iter().all(|o| o.store_fraction == 0.0));
+    }
+}

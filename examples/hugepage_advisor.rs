@@ -1,0 +1,79 @@
+//! Huge-page advisor: use MEMTIS's subpage tracking to audit a workload's
+//! huge-page utilization and report which pages are worth splitting —
+//! the paper's Fig. 3 analysis as a reusable tool.
+//!
+//! ```sh
+//! cargo run --release --example hugepage_advisor -- silo
+//! ```
+
+use memtis_repro::memtis::{MemtisConfig, MemtisPolicy};
+use memtis_repro::sim::prelude::*;
+use memtis_repro::workloads::{Benchmark, Scale, SpecStream};
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|n| {
+            Benchmark::ALL
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(&n))
+        })
+        .unwrap_or(Benchmark::Silo);
+
+    // Observe with the split disabled so the audit sees unmodified pages.
+    let cfg = MemtisConfig::sim_scaled().without_split();
+    let rss = bench.spec(Scale::DEFAULT, 1).total_bytes();
+    let machine = MachineConfig::dram_nvm(rss / 9, rss * 2).with_bandwidth_scale(64.0);
+    let driver = DriverConfig {
+        tick_interval_ns: 20_000.0,
+        timeline_interval_ns: 500_000.0,
+        ..Default::default()
+    };
+    let mut wl = SpecStream::new(bench.spec(Scale::DEFAULT, 1_000_000), 11);
+    let mut sim = Simulation::new(machine, MemtisPolicy::new(cfg), driver);
+    sim.run(&mut wl).expect("run");
+    let policy = sim.policy();
+
+    // Utilization histogram over huge pages (accessed subpages of 512).
+    let mut util_hist = [0u64; 9]; // 0-63, 64-127, ..., 448-511, =512.
+    let mut split_worthy = 0u64;
+    let mut huge_pages = 0u64;
+    for (_v, meta) in policy.pages_iter() {
+        if meta.size != PageSize::Huge {
+            continue;
+        }
+        let Some(sub) = meta.sub.as_ref() else { continue };
+        huge_pages += 1;
+        let touched = sub.counts.iter().filter(|&&c| c > 0).count() as u64;
+        util_hist[(touched / 64).min(8) as usize] += 1;
+        if let Some(p) = meta.skew_profile(policy.base_thresholds().hot) {
+            if p.is_genuinely_skewed() {
+                split_worthy += 1;
+            }
+        }
+    }
+
+    println!("{}: huge-page utilization audit ({huge_pages} huge pages)\n", bench.name());
+    println!("{:>16} {:>8}  ", "subpages used", "pages");
+    for (i, &n) in util_hist.iter().enumerate() {
+        let label = if i == 8 {
+            "512".to_string()
+        } else {
+            format!("{}-{}", i * 64, i * 64 + 63)
+        };
+        let bar = "#".repeat(((n * 50) / huge_pages.max(1)) as usize);
+        println!("{label:>16} {n:>8}  {bar}");
+    }
+    println!(
+        "\n{} of {} huge pages show persistent subpage skew and would be split by MEMTIS",
+        split_worthy, huge_pages
+    );
+    println!(
+        "verdict: {}",
+        if split_worthy * 5 > huge_pages {
+            "skewed workload — skewness-aware splitting will pay off (Fig. 3b shape)"
+        } else {
+            "dense workload — keep huge pages whole (Fig. 3a shape)"
+        }
+    );
+}

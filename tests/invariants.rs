@@ -1,0 +1,250 @@
+//! Property-based invariants over the core data structures, checked with
+//! proptest.
+
+use memtis_repro::memtis::{adapt, bin_of, AccessHistogram, MAX_BIN, NUM_BINS};
+use memtis_repro::sim::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Histogram invariants.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum HistOp {
+    Add(usize, u64),
+    MoveSome(usize, usize),
+    Cool,
+}
+
+fn hist_op() -> impl Strategy<Value = HistOp> {
+    prop_oneof![
+        (0..NUM_BINS, 1u64..512).prop_map(|(b, n)| HistOp::Add(b, n)),
+        (0..NUM_BINS, 0..NUM_BINS).prop_map(|(a, b)| HistOp::MoveSome(a, b)),
+        Just(HistOp::Cool),
+    ]
+}
+
+proptest! {
+    /// Whatever sequence of adds/moves/coolings happens, the histogram's
+    /// total equals the pages logically inserted: nothing is lost.
+    #[test]
+    fn histogram_conserves_pages(ops in prop::collection::vec(hist_op(), 1..200)) {
+        let mut h = AccessHistogram::new();
+        let mut inserted: u64 = 0;
+        for op in ops {
+            match op {
+                HistOp::Add(b, n) => { h.add(b, n); inserted += n; }
+                HistOp::MoveSome(a, b) => {
+                    let n = h.pages_in(a).min(7);
+                    if n > 0 { h.move_pages(a, b, n); }
+                }
+                HistOp::Cool => h.cool(),
+            }
+            prop_assert_eq!(h.total_pages(), inserted);
+        }
+    }
+
+    /// `bin_of` is monotone and consistent with cooling's one-bin shift.
+    #[test]
+    fn bin_of_monotone_and_cooling_consistent(h in 2u64..u64::MAX / 2) {
+        prop_assert!(bin_of(h) >= bin_of(h - 1));
+        let b = bin_of(h);
+        let expected = if b == MAX_BIN { // Top bin may stay put.
+            prop_assert!(bin_of(h / 2) == MAX_BIN || bin_of(h / 2) == MAX_BIN - 1);
+            return Ok(());
+        } else {
+            b.saturating_sub(1)
+        };
+        prop_assert_eq!(bin_of(h / 2), expected);
+    }
+
+    /// Algorithm 1: the identified hot set never exceeds the fast tier, and
+    /// adding the next bin down would overflow it (maximality), unless the
+    /// walk hit bin 0.
+    #[test]
+    fn algorithm1_hot_set_tight(
+        bins in prop::collection::vec(0u64..5000, NUM_BINS),
+        fast_pages in 1u64..100_000,
+    ) {
+        let mut h = AccessHistogram::new();
+        for (b, &n) in bins.iter().enumerate() {
+            h.add(b, n);
+        }
+        let fast = fast_pages * 4096;
+        let t = adapt(&h, fast, 0.9, true);
+        prop_assert!(t.hot_set_bytes <= fast);
+        if t.hot >= 2 {
+            // Bin t.hot - 1 did not fit.
+            let would_be = t.hot_set_bytes + h.bytes_in(t.hot - 1);
+            prop_assert!(would_be > fast || t.hot - 1 == 0);
+        }
+        prop_assert!(t.warm == t.hot || t.warm + 1 == t.hot);
+        prop_assert_eq!(t.cold, t.warm.saturating_sub(1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tier allocator invariants.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    AllocBase,
+    AllocHuge,
+    FreeNth(usize),
+}
+
+fn alloc_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        3 => Just(AllocOp::AllocBase),
+        2 => Just(AllocOp::AllocHuge),
+        3 => (0usize..64).prop_map(AllocOp::FreeNth),
+    ]
+}
+
+proptest! {
+    /// The allocator never double-hands-out a frame, never exceeds its
+    /// capacity, and its free-byte accounting is exact.
+    #[test]
+    fn tier_allocator_accounting(ops in prop::collection::vec(alloc_op(), 1..300)) {
+        use memtis_repro::sim::tier::TierAllocator;
+        let capacity = 8 * HUGE_PAGE_SIZE;
+        let mut t = TierAllocator::new(TierId::FAST, 0, capacity);
+        let mut live: Vec<(Frame, PageSize)> = Vec::new();
+        let mut live_set = std::collections::HashSet::new();
+        for op in ops {
+            match op {
+                AllocOp::AllocBase => {
+                    if let Ok(f) = t.alloc(PageSize::Base) {
+                        prop_assert!(live_set.insert(f.0), "frame handed out twice");
+                        live.push((f, PageSize::Base));
+                    }
+                }
+                AllocOp::AllocHuge => {
+                    if let Ok(f) = t.alloc(PageSize::Huge) {
+                        prop_assert_eq!(f.0 % 512, 0);
+                        for i in 0..512 {
+                            prop_assert!(live_set.insert(f.0 + i), "huge overlaps live frame");
+                        }
+                        live.push((f, PageSize::Huge));
+                    }
+                }
+                AllocOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (f, s) = live.swap_remove(n % live.len());
+                        let frames = if s == PageSize::Huge { 512 } else { 1 };
+                        for i in 0..frames {
+                            live_set.remove(&(f.0 + i));
+                        }
+                        t.free(f, s);
+                    }
+                }
+            }
+            let used: u64 = live
+                .iter()
+                .map(|(_, s)| s.bytes())
+                .sum();
+            prop_assert_eq!(t.free_bytes(), capacity - used);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Page table invariants.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Map/translate/unmap round-trips at arbitrary addresses; RSS
+    /// accounting matches the live mapping set.
+    #[test]
+    fn page_table_roundtrip(pages in prop::collection::btree_set(0u64..(1 << 27), 1..60)) {
+        use memtis_repro::sim::page_table::PageTable;
+        let mut pt = PageTable::new();
+        for (i, &vpn) in pages.iter().enumerate() {
+            pt.map_base(VirtPage(vpn), Frame(i as u64)).unwrap();
+        }
+        prop_assert_eq!(pt.rss_bytes(), pages.len() as u64 * 4096);
+        for (i, &vpn) in pages.iter().enumerate() {
+            let tr = pt.translate(VirtPage(vpn)).expect("mapped");
+            prop_assert_eq!(tr.frame, Frame(i as u64));
+        }
+        for &vpn in &pages {
+            pt.unmap_base(VirtPage(vpn)).unwrap();
+            prop_assert!(pt.translate(VirtPage(vpn)).is_none());
+        }
+        prop_assert_eq!(pt.rss_bytes(), 0);
+    }
+
+    /// Splitting a huge page preserves the translation of every subpage and
+    /// the sticky written bits; RSS is unchanged (no free of zero pages at
+    /// the page-table level).
+    #[test]
+    fn split_preserves_translations(written in prop::collection::btree_set(0usize..512, 0..40)) {
+        use memtis_repro::sim::page_table::{EntryMut, PageTable};
+        let mut pt = PageTable::new();
+        pt.map_huge(VirtPage(512), Frame(1024)).unwrap();
+        if let Some(EntryMut::Huge(h)) = pt.entry_mut(VirtPage(512)) {
+            for &w in &written {
+                h.mark_subpage_written(w);
+            }
+        }
+        let before_rss = pt.rss_bytes();
+        pt.split_huge(VirtPage(512)).unwrap();
+        prop_assert_eq!(pt.rss_bytes(), before_rss);
+        for i in 0..512u64 {
+            let tr = pt.translate(VirtPage(512 + i)).expect("subpage mapped");
+            prop_assert_eq!(tr.frame, Frame(1024 + i));
+            prop_assert_eq!(tr.size, PageSize::Base);
+            if let Some(EntryMut::Base(p)) = pt.entry_mut(VirtPage(512 + i)) {
+                prop_assert_eq!(p.ever_written, written.contains(&(i as usize)));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-level invariants.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Migrations conserve pages: whatever sequence of migrations runs,
+    /// every page stays mapped, tier usage sums to RSS, and no tier
+    /// overflows.
+    #[test]
+    fn migration_conserves_pages(moves in prop::collection::vec((0u64..6, prop::bool::ANY), 1..60)) {
+        let mut m = Machine::new(MachineConfig::dram_nvm(4 * HUGE_PAGE_SIZE, 8 * HUGE_PAGE_SIZE));
+        for i in 0..6u64 {
+            m.alloc_and_map(VirtPage(i * 512), PageSize::Huge, TierId::CAPACITY).unwrap();
+        }
+        let rss = m.rss_bytes();
+        for (page, to_fast) in moves {
+            let vp = VirtPage(page * 512);
+            let dst = if to_fast { TierId::FAST } else { TierId::CAPACITY };
+            let _ = m.migrate(vp, dst); // May legitimately fail (full/same tier).
+            prop_assert_eq!(m.rss_bytes(), rss);
+            let used: u64 = (0..2).map(|t| m.used_bytes(TierId(t))).sum();
+            prop_assert_eq!(used, rss);
+            prop_assert!(m.used_bytes(TierId::FAST) <= m.capacity_bytes(TierId::FAST));
+            // Every page still translates.
+            for i in 0..6u64 {
+                prop_assert!(m.locate(VirtPage(i * 512)).is_some());
+            }
+        }
+    }
+
+    /// Accesses never corrupt placement: executing an arbitrary access
+    /// stream leaves RSS and mappings untouched.
+    #[test]
+    fn accesses_do_not_move_pages(addrs in prop::collection::vec(0u64..(2 << 21), 1..300)) {
+        let mut m = Machine::new(MachineConfig::dram_nvm(2 * HUGE_PAGE_SIZE, 8 * HUGE_PAGE_SIZE));
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST).unwrap();
+        m.alloc_and_map(VirtPage(512), PageSize::Huge, TierId::CAPACITY).unwrap();
+        for a in addrs {
+            let acc = if a % 3 == 0 { Access::store(a) } else { Access::load(a) };
+            let out = m.access(acc).unwrap();
+            prop_assert!(out.latency_ns > 0.0);
+        }
+        prop_assert_eq!(m.locate(VirtPage(0)), Some((TierId::FAST, PageSize::Huge)));
+        prop_assert_eq!(m.locate(VirtPage(512)), Some((TierId::CAPACITY, PageSize::Huge)));
+    }
+}
