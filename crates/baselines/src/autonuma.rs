@@ -9,9 +9,7 @@
 //!   notes this ironically helps XSBench at 1:2 (the early-allocated hot
 //!   region can never be evicted) and hurts everywhere else.
 
-use memtis_sim::prelude::{
-    PageSize, PolicyDescriptor, PolicyOps, TieringPolicy, TierId, VirtPage,
-};
+use memtis_sim::prelude::{PageSize, PolicyDescriptor, PolicyOps, TierId, TieringPolicy, VirtPage};
 use memtis_tracking::hintfault::HintFaultSampler;
 use std::collections::HashMap;
 
@@ -62,7 +60,13 @@ impl TieringPolicy for AutoNumaPolicy {
         }
     }
 
-    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, tier: TierId) {
+    fn on_alloc(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        vpage: VirtPage,
+        size: PageSize,
+        tier: TierId,
+    ) {
         self.sizes.insert(vpage, size);
         if tier != TierId::FAST {
             self.sampler.on_alloc(vpage, size);
@@ -80,7 +84,9 @@ impl TieringPolicy for AutoNumaPolicy {
             Some((_, PageSize::Huge)) => vpage.huge_aligned(),
             _ => vpage,
         };
-        let Some(&size) = self.sizes.get(&key) else { return };
+        let Some(&size) = self.sizes.get(&key) else {
+            return;
+        };
         match ops.locate(key) {
             Some((t, s)) if t != TierId::FAST && s == size => {}
             _ => return,
@@ -105,17 +111,19 @@ mod tests {
 
     #[test]
     fn single_fault_promotes_until_fast_fills() {
-        let mut m = Machine::new(MachineConfig::dram_nvm(
-            HUGE_PAGE_SIZE,
-            8 * HUGE_PAGE_SIZE,
-        ));
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 8 * HUGE_PAGE_SIZE));
         let mut acct = CostAccounting::default();
         let mut p = AutoNumaPolicy::new(AutoNumaConfig::default());
         for i in 0..2u64 {
             m.alloc_and_map(VirtPage(i * 512), PageSize::Huge, TierId::CAPACITY)
                 .unwrap();
             let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::App, 0.0);
-            p.on_alloc(&mut ops, VirtPage(i * 512), PageSize::Huge, TierId::CAPACITY);
+            p.on_alloc(
+                &mut ops,
+                VirtPage(i * 512),
+                PageSize::Huge,
+                TierId::CAPACITY,
+            );
         }
         // One fault promotes page 0 (threshold = 1).
         {

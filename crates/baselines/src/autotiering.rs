@@ -14,10 +14,9 @@
 //!   below the reserve, the behaviour that costs it 603.bwaves performance.
 
 use memtis_sim::prelude::{
-    PageSize, PolicyDescriptor, PolicyOps, SimError, TieringPolicy, TierId, VirtPage, DetHashMap,
+    DetHashMap, PageSize, PolicyDescriptor, PolicyOps, SimError, TierId, TieringPolicy, VirtPage,
 };
 use memtis_tracking::hintfault::HintFaultSampler;
-
 
 /// AutoTiering tunables.
 #[derive(Debug, Clone)]
@@ -99,7 +98,9 @@ impl AutoTieringPolicy {
                 if ops.free_bytes(TierId::FAST) >= need || budget == 0 {
                     break 'outer;
                 }
-                let Some(h) = self.pages.get(&victim) else { continue };
+                let Some(h) = self.pages.get(&victim) else {
+                    continue;
+                };
                 // Stale LFU entries (page got hotter) are skipped.
                 if h.lfu() as usize > b {
                     continue;
@@ -148,7 +149,13 @@ impl TieringPolicy for AutoTieringPolicy {
         }
     }
 
-    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, tier: TierId) {
+    fn on_alloc(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        vpage: VirtPage,
+        size: PageSize,
+        tier: TierId,
+    ) {
         self.pages.insert(
             vpage,
             Hist {
@@ -171,7 +178,9 @@ impl TieringPolicy for AutoTieringPolicy {
             Some((_, PageSize::Huge)) => vpage.huge_aligned(),
             _ => vpage,
         };
-        let Some(h) = self.pages.get_mut(&key) else { return };
+        let Some(h) = self.pages.get_mut(&key) else {
+            return;
+        };
         h.bits |= 1;
         let size = Self::size_of(h);
         match ops.locate(key) {
@@ -251,10 +260,7 @@ mod tests {
 
     #[test]
     fn fault_promotes_with_lfu_exchange() {
-        let mut m = Machine::new(MachineConfig::dram_nvm(
-            HUGE_PAGE_SIZE,
-            8 * HUGE_PAGE_SIZE,
-        ));
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 8 * HUGE_PAGE_SIZE));
         let mut acct = CostAccounting::default();
         let mut p = AutoTieringPolicy::new(AutoTieringConfig {
             shift_every_ticks: 1,

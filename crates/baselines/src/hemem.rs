@@ -16,8 +16,8 @@
 //!   Table 3 and compensates for in its HeMem configuration.
 
 use memtis_sim::prelude::{
-    Access, AccessOutcome, PageSize, PolicyDescriptor, PolicyOps, SimError, TieringPolicy, TierId,
-    VirtPage, DetHashMap,
+    Access, AccessOutcome, DetHashMap, PageSize, PolicyDescriptor, PolicyOps, SimError, TierId,
+    TieringPolicy, VirtPage,
 };
 use memtis_tracking::pebs::PebsSampler;
 use std::collections::VecDeque;
@@ -141,7 +141,13 @@ impl TieringPolicy for HememPolicy {
         }
     }
 
-    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, _tier: TierId) {
+    fn on_alloc(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        vpage: VirtPage,
+        size: PageSize,
+        _tier: TierId,
+    ) {
         self.pages.insert(
             vpage,
             Page {
@@ -201,8 +207,12 @@ impl TieringPolicy for HememPolicy {
         }
         let mut budget = self.cfg.migrate_batch_bytes;
         while budget > 0 {
-            let Some(vpage) = self.promo.pop_front() else { break };
-            let Some(p) = self.pages.get_mut(&vpage) else { continue };
+            let Some(vpage) = self.promo.pop_front() else {
+                break;
+            };
+            let Some(p) = self.pages.get_mut(&vpage) else {
+                continue;
+            };
             p.in_promo = false;
             let size = p.size;
             if p.count < self.cfg.hot_threshold {
@@ -355,7 +365,12 @@ mod tests {
             m.alloc_and_map(VirtPage(i * 512), PageSize::Huge, TierId::CAPACITY)
                 .unwrap();
             let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
-            p.on_alloc(&mut ops, VirtPage(i * 512), PageSize::Huge, TierId::CAPACITY);
+            p.on_alloc(
+                &mut ops,
+                VirtPage(i * 512),
+                PageSize::Huge,
+                TierId::CAPACITY,
+            );
         }
         for i in 0..3u64 {
             for k in 0..5u64 {

@@ -6,11 +6,10 @@
 //! takes inactive-tail pages, and all migration happens in the background.
 
 use memtis_sim::prelude::{
-    PageSize, PolicyDescriptor, PolicyOps, SimError, TieringPolicy, TierId, VirtPage, DetHashMap,
+    DetHashMap, PageSize, PolicyDescriptor, PolicyOps, SimError, TierId, TieringPolicy, VirtPage,
 };
 use memtis_tracking::lru2q::{AccessResult, Lru2Q};
 use memtis_tracking::ptscan::scan_and_clear;
-
 
 /// MULTI-CLOCK tunables.
 #[derive(Debug, Clone)]
@@ -61,8 +60,12 @@ impl MultiClockPolicy {
 
     fn demote(&mut self, ops: &mut PolicyOps<'_>, need: u64, budget: &mut u64) {
         while ops.free_bytes(TierId::FAST) < need && *budget > 0 {
-            let Some(victim) = self.fast.pop_inactive() else { break };
-            let Some(&size) = self.sizes.get(&victim) else { continue };
+            let Some(victim) = self.fast.pop_inactive() else {
+                break;
+            };
+            let Some(&size) = self.sizes.get(&victim) else {
+                continue;
+            };
             match ops.locate(victim) {
                 Some((TierId::FAST, s)) if s == size => {}
                 _ => continue,
@@ -93,7 +96,13 @@ impl TieringPolicy for MultiClockPolicy {
         }
     }
 
-    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, tier: TierId) {
+    fn on_alloc(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        vpage: VirtPage,
+        size: PageSize,
+        tier: TierId,
+    ) {
         self.sizes.insert(vpage, size);
         if tier == TierId::FAST {
             self.fast.insert_inactive(vpage);

@@ -11,7 +11,7 @@
 //!   (56.43× MEMTIS's traffic in the paper).
 
 use memtis_sim::prelude::{
-    PageSize, PolicyDescriptor, PolicyOps, SimError, TieringPolicy, TierId, VirtPage,
+    PageSize, PolicyDescriptor, PolicyOps, SimError, TierId, TieringPolicy, VirtPage,
 };
 use memtis_tracking::ptscan::scan_and_clear;
 
@@ -97,7 +97,9 @@ impl TieringPolicy for NimblePolicy {
                 break;
             }
             while ops.free_bytes(TierId::FAST) < size.bytes() {
-                let Some((victim, vsize)) = cold.next() else { break };
+                let Some((victim, vsize)) = cold.next() else {
+                    break;
+                };
                 match ops.locate(victim) {
                     Some((TierId::FAST, s)) if s == vsize => {}
                     _ => continue,
@@ -129,10 +131,7 @@ mod tests {
 
     #[test]
     fn exchanges_hot_capacity_with_cold_fast() {
-        let mut m = Machine::new(MachineConfig::dram_nvm(
-            HUGE_PAGE_SIZE,
-            8 * HUGE_PAGE_SIZE,
-        ));
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 8 * HUGE_PAGE_SIZE));
         let mut acct = CostAccounting::default();
         let mut p = NimblePolicy::new(NimbleConfig {
             scan_every_ticks: 1,
@@ -162,17 +161,18 @@ mod tests {
     fn touching_everything_causes_churn() {
         // When the accessed working set exceeds the fast tier every scan,
         // Nimble keeps exchanging pages — the Silo pathology.
-        let mut m = Machine::new(MachineConfig::dram_nvm(
-            HUGE_PAGE_SIZE,
-            8 * HUGE_PAGE_SIZE,
-        ));
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 8 * HUGE_PAGE_SIZE));
         let mut acct = CostAccounting::default();
         let mut p = NimblePolicy::new(NimbleConfig {
             scan_every_ticks: 1,
             ..Default::default()
         });
         for i in 0..4u64 {
-            let tier = if i == 0 { TierId::FAST } else { TierId::CAPACITY };
+            let tier = if i == 0 {
+                TierId::FAST
+            } else {
+                TierId::CAPACITY
+            };
             m.alloc_and_map(VirtPage(i * 512), PageSize::Huge, tier)
                 .unwrap();
         }
@@ -182,8 +182,7 @@ mod tests {
             for i in 0..4u64 {
                 m.access(Access::load(i * HUGE_PAGE_SIZE)).unwrap();
             }
-            let mut ops =
-                PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, round as f64);
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, round as f64);
             p.tick(&mut ops);
             total_before = m.stats.migration.traffic_4k();
         }

@@ -4,7 +4,7 @@
 //! the all-DRAM case (with and without THP) appears as the upper reference
 //! line in Fig. 7/8.
 
-use memtis_sim::prelude::{PageSize, PolicyDescriptor, PolicyOps, TieringPolicy, TierId, VirtPage};
+use memtis_sim::prelude::{PageSize, PolicyDescriptor, PolicyOps, TierId, TieringPolicy, VirtPage};
 
 /// Pins all allocations to one tier and never migrates.
 #[derive(Debug, Clone)]
@@ -45,7 +45,12 @@ impl TieringPolicy for StaticPolicy {
         }
     }
 
-    fn alloc_tier(&mut self, _ops: &mut PolicyOps<'_>, _vpage: VirtPage, _size: PageSize) -> TierId {
+    fn alloc_tier(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        _vpage: VirtPage,
+        _size: PageSize,
+    ) -> TierId {
         self.tier
     }
 }

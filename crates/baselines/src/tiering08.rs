@@ -14,7 +14,7 @@
 //!   603.bwaves' short-lived data, §6.2.6).
 
 use memtis_sim::prelude::{
-    PageSize, PolicyDescriptor, PolicyOps, SimError, TieringPolicy, TierId, VirtPage, DetHashMap,
+    DetHashMap, PageSize, PolicyDescriptor, PolicyOps, SimError, TierId, TieringPolicy, VirtPage,
 };
 use memtis_tracking::hintfault::HintFaultSampler;
 use std::collections::VecDeque;
@@ -90,8 +90,12 @@ impl Tiering08Policy {
     fn demote_for_headroom(&mut self, ops: &mut PolicyOps<'_>, need: u64) {
         let mut budget = self.cfg.demote_batch_bytes;
         while ops.free_bytes(TierId::FAST) < need && budget > 0 {
-            let Some(victim) = self.fast_fifo.pop_front() else { break };
-            let Some(p) = self.pages.get(&victim) else { continue };
+            let Some(victim) = self.fast_fifo.pop_front() else {
+                break;
+            };
+            let Some(p) = self.pages.get(&victim) else {
+                continue;
+            };
             let size = p.size;
             match ops.locate(victim) {
                 Some((TierId::FAST, s)) if s == size => {}
@@ -132,7 +136,13 @@ impl TieringPolicy for Tiering08Policy {
         }
     }
 
-    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, tier: TierId) {
+    fn on_alloc(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        vpage: VirtPage,
+        size: PageSize,
+        tier: TierId,
+    ) {
         self.pages.insert(
             vpage,
             Page {
@@ -158,7 +168,9 @@ impl TieringPolicy for Tiering08Policy {
             Some((_, PageSize::Huge)) => vpage.huge_aligned(),
             _ => vpage,
         };
-        let Some(p) = self.pages.get_mut(&key) else { return };
+        let Some(p) = self.pages.get_mut(&key) else {
+            return;
+        };
         let interval = now - p.last_fault_ns;
         p.last_fault_ns = now;
         let size = p.size;

@@ -15,8 +15,8 @@
 //!   by skew — the contrast the paper draws with MEMTIS's split policy.
 
 use memtis_sim::prelude::{
-    Access, AccessOutcome, DetHashMap, PageSize, PolicyDescriptor, PolicyOps, SimError,
-    TieringPolicy, TierId, VirtPage,
+    Access, AccessOutcome, DetHashMap, PageSize, PolicyDescriptor, PolicyOps, SimError, TierId,
+    TieringPolicy, VirtPage,
 };
 use memtis_tracking::pebs::PebsSampler;
 use memtis_tracking::ptscan::scan_and_clear;
@@ -99,7 +99,9 @@ impl TmtsPolicy {
     }
 
     fn promote(&mut self, ops: &mut PolicyOps<'_>, key: VirtPage) {
-        let Some(p) = self.pages.get(&key) else { return };
+        let Some(p) = self.pages.get(&key) else {
+            return;
+        };
         let size = if p.size_huge {
             PageSize::Huge
         } else {
@@ -129,7 +131,13 @@ impl TieringPolicy for TmtsPolicy {
         }
     }
 
-    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, _tier: TierId) {
+    fn on_alloc(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        vpage: VirtPage,
+        size: PageSize,
+        _tier: TierId,
+    ) {
         self.pages.insert(
             vpage,
             Page {

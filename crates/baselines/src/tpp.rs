@@ -15,12 +15,11 @@
 //! more hot pages than fast-tier capacity at 1:8/1:16 on Liblinear.
 
 use memtis_sim::prelude::{
-    PageSize, PolicyDescriptor, PolicyOps, SimError, TieringPolicy, TierId, VirtPage, DetHashMap,
+    DetHashMap, PageSize, PolicyDescriptor, PolicyOps, SimError, TierId, TieringPolicy, VirtPage,
 };
 use memtis_tracking::hintfault::HintFaultSampler;
 use memtis_tracking::lru2q::Lru2Q;
 use memtis_tracking::ptscan::scan_and_clear;
-
 
 /// TPP tunables.
 #[derive(Debug, Clone)]
@@ -81,8 +80,12 @@ impl TppPolicy {
     fn demote_for_watermark(&mut self, ops: &mut PolicyOps<'_>, need: u64) {
         let mut budget = self.cfg.demote_batch_bytes;
         while ops.free_bytes(TierId::FAST) < need && budget > 0 {
-            let Some(victim) = self.lru.pop_inactive() else { break };
-            let Some(&size) = self.sizes.get(&victim) else { continue };
+            let Some(victim) = self.lru.pop_inactive() else {
+                break;
+            };
+            let Some(&size) = self.sizes.get(&victim) else {
+                continue;
+            };
             match ops.locate(victim) {
                 Some((TierId::FAST, s)) if s == size => {}
                 _ => continue,
@@ -123,7 +126,13 @@ impl TieringPolicy for TppPolicy {
         }
     }
 
-    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, tier: TierId) {
+    fn on_alloc(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        vpage: VirtPage,
+        size: PageSize,
+        tier: TierId,
+    ) {
         self.sizes.insert(vpage, size);
         if tier == TierId::FAST {
             self.lru.insert_inactive(vpage);
@@ -154,7 +163,9 @@ impl TieringPolicy for TppPolicy {
         }
         // Second access: promote NOW, in the fault handler (critical path —
         // the ops sink is App here).
-        let Some(&size) = self.sizes.get(&key) else { return };
+        let Some(&size) = self.sizes.get(&key) else {
+            return;
+        };
         match ops.locate(key) {
             Some((t, s)) if t != TierId::FAST && s == size => {}
             _ => return,
@@ -194,8 +205,7 @@ impl TieringPolicy for TppPolicy {
             }
         }
         // Background reclaim: keep the allocation watermark.
-        let watermark =
-            (ops.capacity_bytes(TierId::FAST) as f64 * self.cfg.watermark_frac) as u64;
+        let watermark = (ops.capacity_bytes(TierId::FAST) as f64 * self.cfg.watermark_frac) as u64;
         if ops.free_bytes(TierId::FAST) < watermark {
             self.demote_for_watermark(ops, watermark);
         }

@@ -14,7 +14,10 @@ use memtis_workloads::{Benchmark, Scale};
 
 fn main() {
     let scale = Scale::DEFAULT;
-    let ratio = Ratio { fast: 1, capacity: 8 };
+    let ratio = Ratio {
+        fast: 1,
+        capacity: 8,
+    };
     let mut table = Table::new(vec![
         "benchmark",
         "base wall (ms)",

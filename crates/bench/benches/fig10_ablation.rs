@@ -8,14 +8,15 @@
 //! 603.bwaves, where a large warm set delays freeing space for short-lived
 //! allocations).
 
-use memtis_bench::{
-    normalized, run_baseline, run_system, CapacityKind, Ratio, System, Table,
-};
+use memtis_bench::{normalized, run_baseline, run_system, CapacityKind, Ratio, System, Table};
 use memtis_workloads::{Benchmark, Scale};
 
 fn main() {
     let scale = Scale::DEFAULT;
-    let ratio = Ratio { fast: 1, capacity: 8 };
+    let ratio = Ratio {
+        fast: 1,
+        capacity: 8,
+    };
     let mut table = Table::new(vec![
         "benchmark",
         "vanilla perf",
@@ -28,14 +29,19 @@ fn main() {
     ]);
     for bench in Benchmark::ALL {
         let base = run_baseline(bench, scale, CapacityKind::Nvm);
-        let vanilla = run_system(bench, scale, ratio, CapacityKind::Nvm, System::MemtisVanilla);
+        let vanilla = run_system(
+            bench,
+            scale,
+            ratio,
+            CapacityKind::Nvm,
+            System::MemtisVanilla,
+        );
         // "w/ Split": split enabled, warm set still disabled.
         let split_only = {
             use memtis_core::{MemtisConfig, MemtisPolicy};
             let mut cfg = MemtisConfig::sim_scaled();
             cfg.warm_set = false;
-            let machine =
-                memtis_bench::machine_for(bench, scale, ratio, CapacityKind::Nvm);
+            let machine = memtis_bench::machine_for(bench, scale, ratio, CapacityKind::Nvm);
             memtis_bench::run_cell(
                 bench,
                 scale,

@@ -15,7 +15,10 @@ use memtis_workloads::{Benchmark, Scale};
 
 fn main() {
     let scale = Scale::DEFAULT;
-    let ratio = Ratio { fast: 1, capacity: 8 };
+    let ratio = Ratio {
+        fast: 1,
+        capacity: 8,
+    };
     let mut summary = Table::new(vec![
         "benchmark",
         "MEMTIS thpt (M/s)",
@@ -70,9 +73,15 @@ fn main() {
                     .get(i)
                     .map(|s| format!("{:.0}", s.wall_ns))
                     .unwrap_or_default(),
-                series(&memtis_r, i).map(|v| format!("{v:.2}")).unwrap_or_default(),
-                series(&ns_r, i).map(|v| format!("{v:.2}")).unwrap_or_default(),
-                series(&t08_r, i).map(|v| format!("{v:.2}")).unwrap_or_default(),
+                series(&memtis_r, i)
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_default(),
+                series(&ns_r, i)
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_default(),
+                series(&t08_r, i)
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_default(),
                 splits_at(i).map(|v| format!("{v:.0}")).unwrap_or_default(),
             ]);
         }

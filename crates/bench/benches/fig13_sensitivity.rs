@@ -7,9 +7,7 @@
 //! where the hot set identified over the over-long window can exceed small
 //! fast tiers.
 
-use memtis_bench::{
-    driver_config, geomean, machine_for, run_cell, CapacityKind, Ratio, Table,
-};
+use memtis_bench::{driver_config, geomean, machine_for, run_cell, CapacityKind, Ratio, Table};
 use memtis_core::{MemtisConfig, MemtisPolicy};
 use memtis_workloads::{Benchmark, Scale};
 
@@ -46,8 +44,7 @@ fn main() {
                 } else {
                     let mut cfg = default.clone();
                     if axis == 0 {
-                        cfg.adapt_interval =
-                            ((cfg.adapt_interval as f64 * f) as u64).max(100);
+                        cfg.adapt_interval = ((cfg.adapt_interval as f64 * f) as u64).max(100);
                     } else {
                         cfg.cooling_interval =
                             ((cfg.cooling_interval as f64 * f) as u64).max(1_000);
@@ -66,8 +63,13 @@ fn main() {
         }
         table.row(geo);
         memtis_bench::emit(
-            &format!("fig13_sensitivity_{}", if axis == 0 { "adapt" } else { "cooling" }),
-            &format!("sensitivity to the {label}, 2:1 config, normalized to default (paper Fig. 13)"),
+            &format!(
+                "fig13_sensitivity_{}",
+                if axis == 0 { "adapt" } else { "cooling" }
+            ),
+            &format!(
+                "sensitivity to the {label}, 2:1 config, normalized to default (paper Fig. 13)"
+            ),
             &table,
         );
     }

@@ -4,20 +4,12 @@
 //! relative to the NVM case, but the paper still finds MEMTIS ahead of TPP
 //! on every benchmark (up to +102.9% on PageRank).
 
-use memtis_bench::{
-    normalized, run_baseline, run_system, CapacityKind, Ratio, System, Table,
-};
+use memtis_bench::{normalized, run_baseline, run_system, CapacityKind, Ratio, System, Table};
 use memtis_workloads::{Benchmark, Scale};
 
 fn main() {
     let scale = Scale::DEFAULT;
-    let mut table = Table::new(vec![
-        "benchmark",
-        "ratio",
-        "TPP",
-        "MEMTIS",
-        "memtis vs tpp",
-    ]);
+    let mut table = Table::new(vec!["benchmark", "ratio", "TPP", "MEMTIS", "memtis vs tpp"]);
     let mut worst: f64 = f64::MAX;
     let mut best: f64 = f64::MIN;
     for bench in Benchmark::ALL {

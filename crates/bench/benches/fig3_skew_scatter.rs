@@ -12,7 +12,10 @@ use memtis_workloads::{Benchmark, Scale};
 
 fn main() {
     let scale = Scale::DEFAULT;
-    let ratio = Ratio { fast: 1, capacity: 2 };
+    let ratio = Ratio {
+        fast: 1,
+        capacity: 2,
+    };
     let mut summary = Table::new(vec![
         "benchmark",
         "huge pages",
@@ -43,7 +46,9 @@ fn main() {
             if meta.size != PageSize::Huge {
                 continue;
             }
-            let Some(sub) = meta.sub.as_ref() else { continue };
+            let Some(sub) = meta.sub.as_ref() else {
+                continue;
+            };
             let touched = sub.counts.iter().filter(|&&c| c > 0).count() as u32;
             if meta.count > 0 {
                 dots.push((touched, meta.count));
@@ -77,8 +82,7 @@ fn main() {
         let mut sorted = dots.clone();
         sorted.sort_by_key(|&(_, h)| std::cmp::Reverse(h));
         let top = sorted.len().div_ceil(10).max(1);
-        let hot_util: f64 =
-            sorted[..top].iter().map(|&(u, _)| u as f64).sum::<f64>() / top as f64;
+        let hot_util: f64 = sorted[..top].iter().map(|&(u, _)| u as f64).sum::<f64>() / top as f64;
         summary.row(vec![
             bench.name().to_string(),
             dots.len().to_string(),

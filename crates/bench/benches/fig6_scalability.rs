@@ -6,9 +6,7 @@
 //! at the larger sizes — sampling scales where page-table scanning and
 //! fault-based tracking do not.
 
-use memtis_bench::{
-    driver_config, geomean, normalized, run_cell, System, Table, TIME_COMPRESSION,
-};
+use memtis_bench::{driver_config, geomean, normalized, run_cell, System, Table, TIME_COMPRESSION};
 use memtis_sim::prelude::{MachineConfig, HUGE_PAGE_SIZE};
 use memtis_workloads::{Benchmark, Scale};
 

@@ -5,8 +5,8 @@
 //! when the sampled-page footprint exceeds the fast tier.
 
 use memtis_bench::{
-    driver_config, machine_all_fast, normalized, run_baseline, run_cell, run_system,
-    CapacityKind, Ratio, System, Table,
+    driver_config, machine_all_fast, normalized, run_baseline, run_cell, run_system, CapacityKind,
+    Ratio, System, Table,
 };
 use memtis_sim::prelude::DriverConfig;
 use memtis_workloads::{Benchmark, Scale};

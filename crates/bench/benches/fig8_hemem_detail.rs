@@ -9,8 +9,8 @@
 
 use memtis_baselines::{HememConfig, HememPolicy};
 use memtis_bench::{
-    driver_config, machine_for, normalized, run_cell, run_sim, CapacityKind, Ratio, System,
-    Table, TIME_COMPRESSION,
+    driver_config, machine_for, normalized, run_cell, run_sim, CapacityKind, Ratio, System, Table,
+    TIME_COMPRESSION,
 };
 use memtis_sim::prelude::MachineConfig;
 use memtis_workloads::{Benchmark, Scale};
@@ -22,7 +22,10 @@ fn sixteen_threads(mut m: MachineConfig) -> MachineConfig {
 
 fn main() {
     let scale = Scale::DEFAULT;
-    let ratio = Ratio { fast: 1, capacity: 2 };
+    let ratio = Ratio {
+        fast: 1,
+        capacity: 2,
+    };
     let mut table = Table::new(vec![
         "benchmark",
         "HeMem",
@@ -47,8 +50,7 @@ fn main() {
         );
 
         // HeMem with its fast tier reduced by the measured over-allocation.
-        let probe_machine =
-            sixteen_threads(machine_for(bench, scale, ratio, CapacityKind::Nvm));
+        let probe_machine = sixteen_threads(machine_for(bench, scale, ratio, CapacityKind::Nvm));
         let (_r, sim) = run_sim(
             bench,
             scale,
@@ -59,8 +61,10 @@ fn main() {
         );
         let overalloc = sim.policy().overallocated_bytes;
         let mut hemem_machine = probe_machine.clone();
-        hemem_machine.tiers[0].capacity =
-            hemem_machine.tiers[0].capacity.saturating_sub(overalloc).max(2 << 21);
+        hemem_machine.tiers[0].capacity = hemem_machine.tiers[0]
+            .capacity
+            .saturating_sub(overalloc)
+            .max(2 << 21);
         let hemem = run_cell(
             bench,
             scale,

@@ -27,7 +27,16 @@ fn main() {
         Benchmark::Liblinear,
         Benchmark::Bwaves,
     ] {
-        for ratio in [Ratio { fast: 1, capacity: 2 }, Ratio { fast: 1, capacity: 8 }] {
+        for ratio in [
+            Ratio {
+                fast: 1,
+                capacity: 2,
+            },
+            Ratio {
+                fast: 1,
+                capacity: 8,
+            },
+        ] {
             let machine = machine_for(bench, scale, ratio, CapacityKind::Nvm);
             let fast = machine.tiers[0].capacity;
             let (report, _sim) = run_sim(
@@ -50,12 +59,15 @@ fn main() {
                             .map(|(_, v)| *v)
                             .unwrap_or(0.0)
                     };
-                    (s.wall_ns, get("hot_bytes"), get("warm_bytes"), get("cold_bytes"))
+                    (
+                        s.wall_ns,
+                        get("hot_bytes"),
+                        get("warm_bytes"),
+                        get("cold_bytes"),
+                    )
                 })
                 .collect();
-            let mut csv = Table::new(vec![
-                "time_ns", "hot_mb", "warm_mb", "cold_mb", "fast_mb",
-            ]);
+            let mut csv = Table::new(vec!["time_ns", "hot_mb", "warm_mb", "cold_mb", "fast_mb"]);
             for &(t, h, w, c) in &series {
                 csv.row(vec![
                     format!("{t:.0}"),
@@ -72,7 +84,11 @@ fn main() {
                     ratio.fast,
                     ratio.capacity
                 ),
-                &format!("MEMTIS classification series, {} {}", bench.name(), ratio.label()),
+                &format!(
+                    "MEMTIS classification series, {} {}",
+                    bench.name(),
+                    ratio.label()
+                ),
                 &csv,
             );
 

@@ -1,0 +1,294 @@
+#![allow(missing_docs)] // The criterion_group! macro generates undocumented items.
+
+//! Hot-path micro benchmark: single-walk `Machine::access` versus the
+//! retained triple-walk reference path (`Machine::access_reference`).
+//!
+//! Address streams are **precomputed** so the timed loop contains only the
+//! access path itself (no RNG). Four patterns stress different mixes of
+//! walk cost versus shared model cost (TLB/LLC/stats, identical in both
+//! paths):
+//!
+//! - `hot`: 64 addresses, TLB- and LLC-resident — isolates the translation
+//!   and reference-bit work that the single-walk fast path targets.
+//! - `random`: uniform over 64 huge regions — LLC-missing, end-to-end view.
+//! - `local`: sequential within a region, hopping every 512 accesses.
+//! - `base`: 4 KiB mappings (4-level walks), TLB-capacity working set.
+//!
+//! A direct head-to-head prints speedups and writes `BENCH_hotpath.json`
+//! so the trajectory is tracked across PRs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memtis_bench::emit_bench_json;
+use memtis_sim::prelude::*;
+use std::time::{Duration, Instant};
+
+const HUGE_PAGES: u64 = 64;
+
+/// Base-page working set: 6 regions x 128 pages = 768 pages. TLB-resident
+/// (half the base-TLB capacity, and pages land 6-deep in each 12-way set)
+/// so the measured delta is walk cost, not TLB-miss cost.
+const BASE_REGIONS: u64 = 6;
+const BASE_PAGES_PER_REGION: u64 = 128;
+
+/// Precomputed address-stream length (power of two; the timed loop cycles).
+const STREAM_LEN: usize = 1 << 20;
+
+fn machine_with_huge_pages() -> Machine {
+    let mut m = Machine::new(MachineConfig::dram_nvm(
+        HUGE_PAGES * HUGE_PAGE_SIZE,
+        8 * HUGE_PAGE_SIZE,
+    ));
+    for i in 0..HUGE_PAGES {
+        m.alloc_and_map(VirtPage(i * 512), PageSize::Huge, TierId::FAST)
+            .unwrap();
+    }
+    m
+}
+
+fn machine_with_base_pages() -> Machine {
+    let mut m = Machine::new(MachineConfig::dram_nvm(
+        HUGE_PAGES * HUGE_PAGE_SIZE,
+        8 * HUGE_PAGE_SIZE,
+    ));
+    for r in 0..BASE_REGIONS {
+        for j in 0..BASE_PAGES_PER_REGION {
+            m.alloc_and_map(VirtPage(r * 512 + j), PageSize::Base, TierId::FAST)
+                .unwrap();
+        }
+    }
+    m
+}
+
+/// Deterministic LCG driving the precomputed streams.
+#[inline]
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+#[derive(Clone, Copy)]
+enum Pattern {
+    /// 64 addresses (one per huge region, distinct LLC sets): TLB and LLC
+    /// hit after warmup, so the loop is dominated by translation +
+    /// reference-bit updates — the work the fast path collapses.
+    Hot,
+    /// Uniform random over the whole 64-region huge mapping.
+    Random,
+    /// Sequential cachelines, hopping regions every 512 accesses.
+    Local,
+    /// Random within the base-page (4-level walk) working set.
+    Base,
+}
+
+const PATTERNS: [(&str, Pattern); 4] = [
+    ("hot", Pattern::Hot),
+    ("random", Pattern::Random),
+    ("local", Pattern::Local),
+    ("base", Pattern::Base),
+];
+
+impl Pattern {
+    fn machine(self) -> Machine {
+        match self {
+            Pattern::Base => machine_with_base_pages(),
+            _ => machine_with_huge_pages(),
+        }
+    }
+
+    fn stream(self) -> Vec<u64> {
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        (0..STREAM_LEN as u64)
+            .map(|i| match self {
+                Pattern::Hot => {
+                    // Offset `r * 4096` puts each region's line in its own
+                    // LLC set (region strides are multiples of the set
+                    // count, so only the offset picks the set).
+                    let r = lcg_next(&mut seed) % HUGE_PAGES;
+                    r * HUGE_PAGE_SIZE + r * 4096
+                }
+                Pattern::Random => lcg_next(&mut seed) % (HUGE_PAGES * HUGE_PAGE_SIZE),
+                Pattern::Local => {
+                    let region = (i / 512) % HUGE_PAGES;
+                    region * HUGE_PAGE_SIZE + (i % 512) * 4096 + (i % 7) * 64
+                }
+                Pattern::Base => {
+                    // One fixed cacheline per page, spread over distinct LLC
+                    // sets, so the stream is LLC-resident after warmup and
+                    // the measured delta is the 4-level walks.
+                    let x = lcg_next(&mut seed);
+                    let region = x % BASE_REGIONS;
+                    let page = (x >> 8) % BASE_PAGES_PER_REGION;
+                    let g = region * BASE_PAGES_PER_REGION + page;
+                    (region * 512 + page) * 4096 + ((g / 64) % 64) * 64
+                }
+            })
+            .collect()
+    }
+}
+
+fn access_paths(c: &mut Criterion) {
+    for (name, pattern) in PATTERNS {
+        let stream = pattern.stream();
+
+        let mut m = pattern.machine();
+        let mut i = 0usize;
+        c.bench_function(&format!("hotpath_fast_{name}"), |b| {
+            b.iter(|| {
+                let a = Access::load(stream[i & (STREAM_LEN - 1)]);
+                i += 1;
+                black_box(m.access(a).unwrap());
+            })
+        });
+
+        let mut m = pattern.machine();
+        let mut i = 0usize;
+        c.bench_function(&format!("hotpath_reference_{name}"), |b| {
+            b.iter(|| {
+                let a = Access::load(stream[i & (STREAM_LEN - 1)]);
+                i += 1;
+                black_box(m.access_reference(a).unwrap());
+            })
+        });
+    }
+}
+
+/// The per-access *page-table work* in isolation: the single `walk_mut`
+/// (reading the translation and setting reference bits in one pass) versus
+/// the seed's steady-state `translate` + `entry_mut` pair. This is the code
+/// the tentpole collapsed; the end-to-end targets above dilute it with the
+/// simulated TLB/LLC model cost, which is identical in both paths.
+fn walk_component(c: &mut Criterion) {
+    use memtis_sim::page_table::{EntryMut, PageTable};
+
+    let regions: Vec<u64> = {
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        (0..STREAM_LEN)
+            .map(|_| lcg_next(&mut seed) % HUGE_PAGES)
+            .collect()
+    };
+
+    let mut pt = PageTable::new();
+    for r in 0..HUGE_PAGES {
+        pt.map_huge(VirtPage(r * 512), Frame(r * 512)).unwrap();
+    }
+    let mut i = 0usize;
+    c.bench_function("hotpath_walk_fast", |b| {
+        b.iter(|| {
+            let r = regions[i & (STREAM_LEN - 1)];
+            i += 1;
+            let vp = VirtPage(r * 512 + r);
+            match pt.walk_mut(vp).unwrap() {
+                EntryMut::Huge(h) => {
+                    h.accessed = true;
+                    black_box(h.frame.add(vp.subpage_index() as u64));
+                }
+                EntryMut::Base(p) => {
+                    p.accessed = true;
+                    black_box(p.frame);
+                }
+            }
+        })
+    });
+
+    let mut pt = PageTable::new();
+    for r in 0..HUGE_PAGES {
+        pt.map_huge(VirtPage(r * 512), Frame(r * 512)).unwrap();
+    }
+    let mut i = 0usize;
+    c.bench_function("hotpath_walk_reference", |b| {
+        b.iter(|| {
+            let r = regions[i & (STREAM_LEN - 1)];
+            i += 1;
+            let vp = VirtPage(r * 512 + r);
+            let tr = pt.translate(vp).unwrap();
+            match pt.entry_mut(vp).unwrap() {
+                EntryMut::Huge(h) => h.accessed = true,
+                EntryMut::Base(p) => p.accessed = true,
+            }
+            black_box(tr.frame);
+        })
+    });
+}
+
+/// Direct head-to-head: repeated one-stream sweeps through each path on
+/// each pattern, minimum per-rep time kept (noise-robust on a shared box),
+/// speedups printed and recorded in BENCH_hotpath.json.
+fn head_to_head(_c: &mut Criterion) {
+    const REPS: usize = 5;
+
+    // Monomorphic per-path reps (a shared loop with an `if reference`
+    // branch inlines both access paths into one bloated body and skews
+    // the comparison).
+    fn run_fast(pattern: Pattern, stream: &[u64]) -> f64 {
+        let mut m = pattern.machine();
+        // Warm TLB/LLC/walk-cache state outside the timed window.
+        for &addr in &stream[..STREAM_LEN / 4] {
+            let _ = m.access(Access::load(addr));
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            for &addr in stream {
+                black_box(m.access(Access::load(addr)).unwrap());
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    fn run_reference(pattern: Pattern, stream: &[u64]) -> f64 {
+        let mut m = pattern.machine();
+        for &addr in &stream[..STREAM_LEN / 4] {
+            let _ = m.access_reference(Access::load(addr));
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            for &addr in stream {
+                black_box(m.access_reference(Access::load(addr)).unwrap());
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    let mut metrics = vec![("accesses".to_string(), STREAM_LEN as f64)];
+    let mut lines = Vec::new();
+    for (name, pattern) in PATTERNS {
+        let stream = pattern.stream();
+        let reference = run_reference(pattern, &stream);
+        let fast = run_fast(pattern, &stream);
+        let speedup = reference / fast;
+        lines.push(format!(
+            "{name} {:.1} -> {:.1} Macc/s ({speedup:.2}x)",
+            STREAM_LEN as f64 / reference / 1e6,
+            STREAM_LEN as f64 / fast / 1e6,
+        ));
+        metrics.push((
+            format!("fast_{name}_macc_s"),
+            STREAM_LEN as f64 / fast / 1e6,
+        ));
+        metrics.push((
+            format!("reference_{name}_macc_s"),
+            STREAM_LEN as f64 / reference / 1e6,
+        ));
+        metrics.push((format!("speedup_{name}"), speedup));
+    }
+    println!(
+        "hotpath head-to-head, best of {REPS} reps x {STREAM_LEN} accesses: {}",
+        lines.join(", ")
+    );
+    emit_bench_json("hotpath", &metrics);
+}
+
+criterion_group! {
+    name = hotpath;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = access_paths, walk_component, head_to_head
+}
+criterion_main!(hotpath);

@@ -96,8 +96,7 @@ fn huge_split(c: &mut Criterion) {
     c.bench_function("machine_split_huge", |b| {
         b.iter_with_setup(
             || {
-                let mut m =
-                    Machine::new(MachineConfig::dram_nvm(16 << 21, 64 << 21));
+                let mut m = Machine::new(MachineConfig::dram_nvm(16 << 21, 64 << 21));
                 m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
                     .unwrap();
                 for i in 0..8u64 {

@@ -7,15 +7,18 @@
 //! performance impact.
 
 use memtis_bench::{
-    driver_config, machine_for, normalized, run_baseline, run_sim, run_system, CapacityKind,
-    Ratio, System, Table,
+    driver_config, machine_for, normalized, run_baseline, run_sim, run_system, CapacityKind, Ratio,
+    System, Table,
 };
 use memtis_core::{MemtisConfig, MemtisPolicy};
 use memtis_workloads::{Benchmark, Scale};
 
 fn main() {
     let scale = Scale::DEFAULT;
-    let ratio = Ratio { fast: 1, capacity: 8 };
+    let ratio = Ratio {
+        fast: 1,
+        capacity: 8,
+    };
     let mut table = Table::new(vec![
         "benchmark",
         "initial period",
@@ -71,7 +74,10 @@ fn main() {
     let r = run_system(
         bench,
         scale,
-        Ratio { fast: 1, capacity: 16 },
+        Ratio {
+            fast: 1,
+            capacity: 16,
+        },
         CapacityKind::Nvm,
         System::Memtis,
     );

@@ -11,7 +11,10 @@ use memtis_workloads::{Benchmark, Scale};
 
 fn main() {
     let scale = Scale::DEFAULT;
-    let ratio = Ratio { fast: 1, capacity: 2 };
+    let ratio = Ratio {
+        fast: 1,
+        capacity: 2,
+    };
     let mut t = Table::new(vec![
         "benchmark",
         "paper over-allocation (MB)",

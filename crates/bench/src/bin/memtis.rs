@@ -9,9 +9,7 @@
 //! `run` executes one cell and prints the detailed report; `compare` runs
 //! every system on one benchmark; `list` shows benchmarks and policies.
 
-use memtis_bench::{
-    normalized, run_baseline, run_system, CapacityKind, Ratio, System, Table,
-};
+use memtis_bench::{normalized, run_baseline, run_system, CapacityKind, Ratio, System, Table};
 use memtis_workloads::{Benchmark, Scale};
 
 fn parse_ratio(s: &str) -> Option<Ratio> {
@@ -44,7 +42,8 @@ fn find_system(name: &str) -> Option<System> {
         System::AllNvm,
         System::AllDram,
     ];
-    all.into_iter().find(|s| s.name().eq_ignore_ascii_case(name))
+    all.into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
 }
 
 struct Opts {
@@ -55,7 +54,10 @@ struct Opts {
 
 fn parse_opts(args: &[String]) -> Opts {
     let mut o = Opts {
-        ratio: Ratio { fast: 1, capacity: 8 },
+        ratio: Ratio {
+            fast: 1,
+            capacity: 8,
+        },
         kind: CapacityKind::Nvm,
         policy: System::Memtis,
     };
@@ -108,14 +110,27 @@ fn main() {
             }
             println!("\npolicies:");
             for s in [
-                "AutoNUMA", "AutoTiering", "Tiering-0.8", "TPP", "Nimble", "HeMem", "MEMTIS",
-                "MEMTIS-NS", "MEMTIS-Vanilla", "MULTI-CLOCK", "TMTS", "All-NVM", "All-DRAM",
+                "AutoNUMA",
+                "AutoTiering",
+                "Tiering-0.8",
+                "TPP",
+                "Nimble",
+                "HeMem",
+                "MEMTIS",
+                "MEMTIS-NS",
+                "MEMTIS-Vanilla",
+                "MULTI-CLOCK",
+                "TMTS",
+                "All-NVM",
+                "All-DRAM",
             ] {
                 println!("  {s}");
             }
         }
         Some("run") => {
-            let Some(bench) = args.get(1).and_then(|s| find_benchmark(s)) else { usage() };
+            let Some(bench) = args.get(1).and_then(|s| find_benchmark(s)) else {
+                usage()
+            };
             let o = parse_opts(&args[2..]);
             let base = run_baseline(bench, Scale::DEFAULT, o.kind);
             let r = run_system(bench, Scale::DEFAULT, o.ratio, o.kind, o.policy);
@@ -124,30 +139,69 @@ fn main() {
                 o.policy.name(),
                 bench.name(),
                 o.ratio.label(),
-                if o.kind == CapacityKind::Cxl { "CXL" } else { "NVM" }
+                if o.kind == CapacityKind::Cxl {
+                    "CXL"
+                } else {
+                    "NVM"
+                }
             );
-            println!("  normalized perf   : {:.3} (vs all-{} w/ THP)", normalized(&base, &r),
-                if o.kind == CapacityKind::Cxl { "CXL" } else { "NVM" });
+            println!(
+                "  normalized perf   : {:.3} (vs all-{} w/ THP)",
+                normalized(&base, &r),
+                if o.kind == CapacityKind::Cxl {
+                    "CXL"
+                } else {
+                    "NVM"
+                }
+            );
             println!("  wall time         : {:.2} ms", r.wall_ns / 1e6);
             println!("  throughput        : {:.1} M acc/s", r.throughput() / 1e6);
-            println!("  fast-tier hits    : {:.1}%", r.stats.fast_tier_hit_ratio() * 100.0);
-            println!("  migration traffic : {} 4K pages", r.stats.migration.traffic_4k());
+            println!(
+                "  sim self-thpt     : {:.2} M events/s (host)",
+                r.self_events_per_sec() / 1e6
+            );
+            println!(
+                "  fast-tier hits    : {:.1}%",
+                r.stats.fast_tier_hit_ratio() * 100.0
+            );
+            println!(
+                "  migration traffic : {} 4K pages",
+                r.stats.migration.traffic_4k()
+            );
             println!("  huge-page splits  : {}", r.stats.migration.splits);
-            println!("  RSS (peak/final)  : {} / {} MB", r.rss_peak_bytes >> 20, r.rss_final_bytes >> 20);
+            println!(
+                "  RSS (peak/final)  : {} / {} MB",
+                r.rss_peak_bytes >> 20,
+                r.rss_final_bytes >> 20
+            );
             println!("  daemon CPU        : {:.2} cores", r.daemon_core_usage());
             println!("  app-path overhead : {:.2} ms", r.app_extra_ns / 1e6);
             let thpt: Vec<f64> = r.timeline.iter().map(|s| s.window_throughput).collect();
             let fhr: Vec<f64> = r.timeline.iter().map(|s| s.window_fast_hit_ratio).collect();
             if !thpt.is_empty() {
-                println!("  throughput  (t →) : {}", memtis_bench::sparkline(&thpt, 48));
-                println!("  fast-hit %  (t →) : {}", memtis_bench::sparkline(&fhr, 48));
+                println!(
+                    "  throughput  (t →) : {}",
+                    memtis_bench::sparkline(&thpt, 48)
+                );
+                println!(
+                    "  fast-hit %  (t →) : {}",
+                    memtis_bench::sparkline(&fhr, 48)
+                );
             }
         }
         Some("compare") => {
-            let Some(bench) = args.get(1).and_then(|s| find_benchmark(s)) else { usage() };
+            let Some(bench) = args.get(1).and_then(|s| find_benchmark(s)) else {
+                usage()
+            };
             let o = parse_opts(&args[2..]);
             let base = run_baseline(bench, Scale::DEFAULT, o.kind);
-            let mut t = Table::new(vec!["policy", "normalized", "fast-hit %", "traffic 4K", "splits"]);
+            let mut t = Table::new(vec![
+                "policy",
+                "normalized",
+                "fast-hit %",
+                "traffic 4K",
+                "splits",
+            ]);
             let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
             for sys in System::FIG5 {
                 let r = run_system(bench, Scale::DEFAULT, o.ratio, o.kind, sys);

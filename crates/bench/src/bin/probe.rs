@@ -36,7 +36,11 @@ fn probe_memtis(bench: Benchmark, ratio: Ratio) {
         st.splits,
         st.collapses,
         (p.thresholds().hot, p.thresholds().warm, p.thresholds().cold),
-        (p.base_thresholds().hot, p.base_thresholds().warm, p.base_thresholds().cold),
+        (
+            p.base_thresholds().hot,
+            p.base_thresholds().warm,
+            p.base_thresholds().cold
+        ),
         p.load_period(),
     );
     println!("  page hist: {:?}", p.histogram().bins());
@@ -50,10 +54,19 @@ fn main() {
         .find(|b| Some(b.name().to_lowercase()) == args.get(1).map(|s| s.to_lowercase()))
         .unwrap_or(Benchmark::PageRank);
     let ratio = match args.get(2).map(String::as_str) {
-        Some("1:2") => Ratio { fast: 1, capacity: 2 },
-        Some("1:16") => Ratio { fast: 1, capacity: 16 },
+        Some("1:2") => Ratio {
+            fast: 1,
+            capacity: 2,
+        },
+        Some("1:16") => Ratio {
+            fast: 1,
+            capacity: 16,
+        },
         Some("2:1") => Ratio::TWO_TO_ONE,
-        _ => Ratio { fast: 1, capacity: 8 },
+        _ => Ratio {
+            fast: 1,
+            capacity: 8,
+        },
     };
     let systems: Vec<System> = match args.get(3).map(String::as_str) {
         Some("all") | None => System::FIG5.to_vec(),

@@ -6,9 +6,9 @@
 //! means.
 
 use memtis_baselines::{
-    AutoNumaConfig, AutoNumaPolicy, AutoTieringConfig, AutoTieringPolicy, HememConfig,
-    HememPolicy, MultiClockConfig, MultiClockPolicy, NimbleConfig, NimblePolicy, StaticPolicy,
-    Tiering08Config, Tiering08Policy, TmtsConfig, TmtsPolicy, TppConfig, TppPolicy,
+    AutoNumaConfig, AutoNumaPolicy, AutoTieringConfig, AutoTieringPolicy, HememConfig, HememPolicy,
+    MultiClockConfig, MultiClockPolicy, NimbleConfig, NimblePolicy, StaticPolicy, Tiering08Config,
+    Tiering08Policy, TmtsConfig, TmtsPolicy, TppConfig, TppPolicy,
 };
 use memtis_core::{MemtisConfig, MemtisPolicy};
 use memtis_sim::prelude::*;
@@ -53,18 +53,29 @@ pub struct Ratio {
 impl Ratio {
     /// The paper's three main configurations.
     pub const MAIN: [Ratio; 3] = [
-        Ratio { fast: 1, capacity: 2 },
-        Ratio { fast: 1, capacity: 8 },
-        Ratio { fast: 1, capacity: 16 },
+        Ratio {
+            fast: 1,
+            capacity: 2,
+        },
+        Ratio {
+            fast: 1,
+            capacity: 8,
+        },
+        Ratio {
+            fast: 1,
+            capacity: 16,
+        },
     ];
 
     /// Meta's production-target 2:1 configuration (§6.2.8).
-    pub const TWO_TO_ONE: Ratio = Ratio { fast: 2, capacity: 1 };
+    pub const TWO_TO_ONE: Ratio = Ratio {
+        fast: 2,
+        capacity: 1,
+    };
 
     /// Fast-tier bytes for a workload of `rss` bytes.
     pub fn fast_bytes(&self, rss: u64) -> u64 {
-        (rss * self.fast as u64 / (self.fast + self.capacity) as u64)
-            .max(2 * HUGE_PAGE_SIZE)
+        (rss * self.fast as u64 / (self.fast + self.capacity) as u64).max(2 * HUGE_PAGE_SIZE)
     }
 
     /// Label like "1:8".
@@ -74,7 +85,12 @@ impl Ratio {
 }
 
 /// Builds the machine for one experiment cell.
-pub fn machine_for(bench: Benchmark, scale: Scale, ratio: Ratio, kind: CapacityKind) -> MachineConfig {
+pub fn machine_for(
+    bench: Benchmark,
+    scale: Scale,
+    ratio: Ratio,
+    kind: CapacityKind,
+) -> MachineConfig {
     let rss = bench.spec(scale, 1).total_bytes();
     let fast = ratio.fast_bytes(rss);
     // The capacity tier is sized generously: it must absorb the whole RSS
@@ -176,9 +192,9 @@ impl System {
             System::Nimble => Box::new(NimblePolicy::new(NimbleConfig::default())),
             System::Hemem => Box::new(HememPolicy::new(HememConfig::default())),
             System::Memtis => Box::new(MemtisPolicy::new(MemtisConfig::sim_scaled())),
-            System::MemtisNs => {
-                Box::new(MemtisPolicy::new(MemtisConfig::sim_scaled().without_split()))
-            }
+            System::MemtisNs => Box::new(MemtisPolicy::new(
+                MemtisConfig::sim_scaled().without_split(),
+            )),
             System::MemtisVanilla => {
                 Box::new(MemtisPolicy::new(MemtisConfig::sim_scaled().vanilla()))
             }
@@ -215,7 +231,22 @@ pub fn run_cell(
     driver: DriverConfig,
     accesses: u64,
 ) -> RunReport {
-    let mut wl = SpecStream::new(bench.spec(scale, accesses), SEED);
+    run_cell_seeded(bench, scale, machine, policy, driver, accesses, SEED)
+}
+
+/// Runs one experiment cell with an explicit workload seed (sweep matrix
+/// cells derive their own deterministic seeds; everything else uses
+/// [`SEED`] via [`run_cell`]).
+pub fn run_cell_seeded(
+    bench: Benchmark,
+    scale: Scale,
+    machine: MachineConfig,
+    policy: Box<dyn TieringPolicy>,
+    driver: DriverConfig,
+    accesses: u64,
+    seed: u64,
+) -> RunReport {
+    let mut wl = SpecStream::new(bench.spec(scale, accesses), seed);
     let mut sim = Simulation::new(machine, policy, driver);
     sim.run(&mut wl).expect("experiment run failed")
 }
@@ -281,7 +312,10 @@ mod tests {
 
     #[test]
     fn ratios_compute_fast_tier_share() {
-        let r = Ratio { fast: 1, capacity: 2 };
+        let r = Ratio {
+            fast: 1,
+            capacity: 2,
+        };
         assert_eq!(r.fast_bytes(9 << 21), 3 << 21);
         assert_eq!(r.label(), "1:2");
         let two = Ratio::TWO_TO_ONE;
@@ -325,7 +359,10 @@ mod tests {
         let r = run_system(
             Benchmark::Roms,
             scale,
-            Ratio { fast: 1, capacity: 8 },
+            Ratio {
+                fast: 1,
+                capacity: 8,
+            },
             CapacityKind::Nvm,
             System::Memtis,
         );

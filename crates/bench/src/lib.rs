@@ -9,12 +9,13 @@
 pub mod harness;
 pub mod plot;
 pub mod report;
+pub mod sweep;
 
 pub use harness::{
-    run_sim,
+    access_budget, driver_config, geomean, machine_all_fast, machine_for, normalized, run_baseline,
+    run_cell, run_cell_seeded, run_sim, run_system, CapacityKind, Ratio, System, SEED,
     TIME_COMPRESSION,
-    access_budget, driver_config, geomean, machine_all_fast, machine_for, normalized,
-    run_baseline, run_cell, run_system, CapacityKind, Ratio, System, SEED,
 };
 pub use plot::{bar, sparkline};
-pub use report::{emit, experiments_dir, Table};
+pub use report::{emit, emit_bench_json, experiments_dir, Table};
+pub use sweep::{emit_sweep, matrix, run_sweep, SweepCell, SweepConfig, SweepResult};

@@ -98,8 +98,7 @@ impl Table {
 
 /// Directory where experiment CSVs are written.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     let _ = fs::create_dir_all(&dir);
     dir
 }
@@ -117,9 +116,53 @@ pub fn emit(name: &str, title: &str, table: &Table) {
     }
 }
 
+/// Writes `BENCH_<name>.json` under the experiments directory: a flat map
+/// of perf metrics (simulator self-throughput in events/sec, host elapsed
+/// seconds, …) so the perf trajectory of the simulator itself is tracked
+/// across PRs alongside the experiment CSVs.
+pub fn emit_bench_json(name: &str, metrics: &[(String, f64)]) {
+    let mut body = String::from("{\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        // Keys are internal identifiers; escape quotes defensively anyway.
+        let key = k.replace('\\', "\\\\").replace('"', "\\\"");
+        let val = if v.is_finite() { *v } else { 0.0 };
+        let _ = writeln!(body, "  \"{key}\": {val}{comma}");
+    }
+    body.push('}');
+    body.push('\n');
+    let path = experiments_dir().join(format!("BENCH_{name}.json"));
+    if let Err(e) = fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[bench json written to {}]", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_is_valid_flat_map() {
+        emit_bench_json(
+            "report_selftest",
+            &[
+                ("events_per_sec".to_string(), 1234.5),
+                ("elapsed_s".to_string(), 0.25),
+                ("nan_guard".to_string(), f64::NAN),
+            ],
+        );
+        let path = experiments_dir().join("BENCH_report_selftest.json");
+        let body = fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\n"));
+        assert!(body.trim_end().ends_with('}'));
+        assert!(body.contains("\"events_per_sec\": 1234.5,"));
+        assert!(body.contains("\"nan_guard\": 0"));
+        // No trailing comma before the closing brace.
+        assert!(!body.contains(",\n}"));
+        let _ = fs::remove_file(path);
+    }
 
     #[test]
     fn render_aligns_columns() {

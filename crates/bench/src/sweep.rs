@@ -1,0 +1,358 @@
+//! Parallel experiment sweep runner.
+//!
+//! Fans a (policy × workload × ratio × seed) matrix across
+//! `std::thread::scope` workers. Each cell owns its `Machine`, policy, and
+//! workload stream, so there is no shared mutable state between cells —
+//! parallel execution is bit-identical to serial execution:
+//!
+//! - every cell derives its workload seed deterministically from the cell
+//!   *coordinates* (FNV-1a over policy/benchmark/ratio/kind/seed-index
+//!   mixed with the global [`SEED`]), never from scheduling order;
+//! - workers pull cell indices from an atomic counter and write results
+//!   into per-cell slots, so the merged report is ordered by matrix index
+//!   regardless of which worker finished first.
+//!
+//! The merged output is a [`Table`] (text + CSV via [`emit`]) plus a
+//! `BENCH_<name>.json` perf record (aggregate simulator events/sec, per-job
+//! scaling efficiency) via [`emit_bench_json`].
+
+use crate::harness::{
+    driver_config, machine_for, run_cell_seeded, CapacityKind, Ratio, System, SEED,
+};
+use crate::report::{emit, emit_bench_json, Table};
+use memtis_sim::prelude::RunReport;
+use memtis_workloads::{Benchmark, Scale};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One cell of the sweep matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCell {
+    /// Tiering system under test.
+    pub system: System,
+    /// Workload.
+    pub bench: Benchmark,
+    /// Fast:capacity tiering ratio.
+    pub ratio: Ratio,
+    /// Capacity-tier memory kind.
+    pub kind: CapacityKind,
+    /// Seed replica index (0-based) for multi-seed sweeps.
+    pub seed_index: u32,
+}
+
+impl SweepCell {
+    /// Deterministic per-cell workload seed, derived from the cell
+    /// coordinates so it is independent of matrix order and scheduling.
+    pub fn seed(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(&SEED.to_le_bytes());
+        mix(self.system.name().as_bytes());
+        mix(self.bench.name().as_bytes());
+        mix(&self.ratio.fast.to_le_bytes());
+        mix(&self.ratio.capacity.to_le_bytes());
+        mix(&[matches!(self.kind, CapacityKind::Cxl) as u8]);
+        mix(&self.seed_index.to_le_bytes());
+        h
+    }
+
+    /// Short display label like `MEMTIS/roms@1:8#0`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}@{}#{}",
+            self.system.name(),
+            self.bench.name(),
+            self.ratio.label(),
+            self.seed_index
+        )
+    }
+}
+
+/// Builds the full cross-product matrix.
+pub fn matrix(
+    systems: &[System],
+    benches: &[Benchmark],
+    ratios: &[Ratio],
+    kind: CapacityKind,
+    seeds: u32,
+) -> Vec<SweepCell> {
+    let mut cells =
+        Vec::with_capacity(systems.len() * benches.len() * ratios.len() * seeds as usize);
+    for &system in systems {
+        for &bench in benches {
+            for &ratio in ratios {
+                for seed_index in 0..seeds {
+                    cells.push(SweepCell {
+                        system,
+                        bench,
+                        ratio,
+                        kind,
+                        seed_index,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Sweep execution parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Worker threads (clamped to at least 1 and at most the cell count).
+    pub jobs: usize,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Access budget per cell.
+    pub accesses: u64,
+}
+
+/// One finished cell.
+#[derive(Debug)]
+pub struct CellResult {
+    /// The cell that produced this result.
+    pub cell: SweepCell,
+    /// The run report.
+    pub report: RunReport,
+}
+
+/// A finished sweep: per-cell results in matrix order plus wall-clock
+/// accounting for the scaling measurement.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Results, ordered by matrix index (scheduling-independent).
+    pub cells: Vec<CellResult>,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Host wall-clock for the whole sweep (ns).
+    pub host_elapsed_ns: u64,
+}
+
+impl SweepResult {
+    /// Sum of per-cell host run times (ns) — the serial-equivalent work.
+    pub fn cell_host_ns(&self) -> u64 {
+        self.cells.iter().map(|c| c.report.host_elapsed_ns).sum()
+    }
+
+    /// Observed speedup over serial execution of the same cells.
+    pub fn speedup(&self) -> f64 {
+        if self.host_elapsed_ns == 0 {
+            0.0
+        } else {
+            self.cell_host_ns() as f64 / self.host_elapsed_ns as f64
+        }
+    }
+
+    /// Scaling efficiency: speedup divided by worker count.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.jobs.max(1) as f64
+    }
+
+    /// Aggregate simulator self-throughput (events/sec of sweep wall time).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.host_elapsed_ns == 0 {
+            return 0.0;
+        }
+        let events: u64 = self.cells.iter().map(|c| c.report.sim_events).sum();
+        events as f64 / (self.host_elapsed_ns as f64 * 1e-9)
+    }
+}
+
+/// Runs one cell (helper shared by the parallel runner and tests).
+pub fn run_sweep_cell(cell: SweepCell, cfg: &SweepConfig) -> RunReport {
+    let machine = machine_for(cell.bench, cfg.scale, cell.ratio, cell.kind);
+    run_cell_seeded(
+        cell.bench,
+        cfg.scale,
+        machine,
+        cell.system.build(),
+        driver_config(),
+        cfg.accesses,
+        cell.seed(),
+    )
+}
+
+/// Runs the matrix across `cfg.jobs` scoped worker threads.
+pub fn run_sweep(cells: &[SweepCell], cfg: &SweepConfig) -> SweepResult {
+    let jobs = cfg.jobs.max(1).min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellResult>>> =
+        (0..cells.len()).map(|_| Mutex::new(None)).collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&cell) = cells.get(i) else { break };
+                let report = run_sweep_cell(cell, cfg);
+                *slots[i].lock().expect("result slot poisoned") = Some(CellResult { cell, report });
+            });
+        }
+    });
+    let host_elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let results = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker loop covers every index")
+        })
+        .collect();
+    SweepResult {
+        cells: results,
+        jobs,
+        host_elapsed_ns,
+    }
+}
+
+/// Renders the merged per-cell table.
+pub fn sweep_table(result: &SweepResult) -> Table {
+    let mut t = Table::new(vec![
+        "policy",
+        "workload",
+        "ratio",
+        "kind",
+        "seed",
+        "wall_ms",
+        "Macc/s",
+        "fast-hit %",
+        "host events/s",
+    ]);
+    for c in &result.cells {
+        let r = &c.report;
+        t.row(vec![
+            c.cell.system.name().to_string(),
+            c.cell.bench.name().to_string(),
+            c.cell.ratio.label(),
+            match c.cell.kind {
+                CapacityKind::Nvm => "NVM".to_string(),
+                CapacityKind::Cxl => "CXL".to_string(),
+            },
+            format!("{:#x}", c.cell.seed()),
+            format!("{:.2}", r.wall_ns / 1e6),
+            format!("{:.2}", r.throughput() / 1e6),
+            format!("{:.1}", r.stats.fast_tier_hit_ratio() * 100.0),
+            format!("{:.0}", r.self_events_per_sec()),
+        ]);
+    }
+    t
+}
+
+/// Emits the merged table (text + CSV) and the `BENCH_<name>.json` perf
+/// record, and prints the scaling summary.
+pub fn emit_sweep(name: &str, result: &SweepResult) {
+    let table = sweep_table(result);
+    emit(name, "parallel experiment sweep", &table);
+    let elapsed_s = result.host_elapsed_ns as f64 * 1e-9;
+    println!(
+        "sweep: {} cells, {} jobs, {:.2}s wall, speedup {:.2}x, efficiency {:.2}, {:.0} events/s",
+        result.cells.len(),
+        result.jobs,
+        elapsed_s,
+        result.speedup(),
+        result.efficiency(),
+        result.events_per_sec(),
+    );
+    emit_bench_json(
+        name,
+        &[
+            ("cells".to_string(), result.cells.len() as f64),
+            ("jobs".to_string(), result.jobs as f64),
+            ("host_elapsed_s".to_string(), elapsed_s),
+            (
+                "cell_host_s_total".to_string(),
+                result.cell_host_ns() as f64 * 1e-9,
+            ),
+            ("speedup".to_string(), result.speedup()),
+            ("efficiency".to_string(), result.efficiency()),
+            ("events_per_sec".to_string(), result.events_per_sec()),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(jobs: usize) -> SweepConfig {
+        SweepConfig {
+            jobs,
+            scale: Scale::TEST,
+            accesses: 4_000,
+        }
+    }
+
+    fn tiny_matrix() -> Vec<SweepCell> {
+        matrix(
+            &[System::Memtis, System::Tpp],
+            &[Benchmark::Roms, Benchmark::Btree],
+            &[Ratio {
+                fast: 1,
+                capacity: 8,
+            }],
+            CapacityKind::Nvm,
+            1,
+        )
+    }
+
+    #[test]
+    fn matrix_is_full_cross_product() {
+        let cells = matrix(
+            &[System::Memtis, System::Tpp],
+            &[Benchmark::Roms],
+            &Ratio::MAIN,
+            CapacityKind::Nvm,
+            2,
+        );
+        // 2 systems x 1 benchmark x 3 ratios x 2 seeds.
+        assert_eq!(cells.len(), 12);
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_and_coordinate_stable() {
+        let cells = tiny_matrix();
+        let seeds: Vec<u64> = cells.iter().map(SweepCell::seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "seed collision: {seeds:?}");
+        // The seed depends only on coordinates, not matrix position.
+        let reordered: Vec<SweepCell> = cells.iter().rev().copied().collect();
+        let rev_seeds: Vec<u64> = reordered.iter().map(SweepCell::seed).collect();
+        assert_eq!(seeds.iter().rev().copied().collect::<Vec<_>>(), rev_seeds);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_exactly() {
+        let cells = tiny_matrix();
+        let serial = run_sweep(&cells, &tiny_cfg(1));
+        let parallel = run_sweep(&cells, &tiny_cfg(2));
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(parallel.cells.iter()) {
+            assert_eq!(a.cell.label(), b.cell.label());
+            assert_eq!(a.report.wall_ns.to_bits(), b.report.wall_ns.to_bits());
+            assert_eq!(a.report.accesses, b.report.accesses);
+            assert_eq!(
+                format!("{:?}", a.report.stats),
+                format!("{:?}", b.report.stats)
+            );
+        }
+    }
+
+    #[test]
+    fn jobs_clamped_to_cell_count() {
+        let cells = tiny_matrix()[..1].to_vec();
+        let r = run_sweep(&cells, &tiny_cfg(16));
+        assert_eq!(r.jobs, 1);
+        assert_eq!(r.cells.len(), 1);
+        assert!(r.cells[0].report.sim_events > 0);
+        let t = sweep_table(&r);
+        assert_eq!(t.len(), 1);
+    }
+}

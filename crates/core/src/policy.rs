@@ -11,10 +11,11 @@
 use crate::config::MemtisConfig;
 use crate::histogram::{bin_of, AccessHistogram, MAX_BIN};
 use crate::meta::{subpage_hotness, PageMeta, SubMeta};
+use crate::regions::RegionTable;
 use crate::threshold::{adapt, Thresholds};
 use memtis_sim::prelude::{
-    Access, AccessOutcome, DetHashMap, PageSize, PolicyDescriptor, PolicyOps, SimError,
-    TieringPolicy, TierId, VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES,
+    Access, AccessOutcome, PageSize, PolicyDescriptor, PolicyOps, SimError, TierId, TieringPolicy,
+    VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES,
 };
 use memtis_tracking::pebs::{PebsSampler, PeriodController};
 use std::collections::VecDeque;
@@ -67,7 +68,7 @@ pub struct MemtisStats {
 /// The MEMTIS policy.
 pub struct MemtisPolicy {
     cfg: MemtisConfig,
-    pages: DetHashMap<VirtPage, PageMeta>,
+    pages: RegionTable,
     page_hist: AccessHistogram,
     base_hist: AccessHistogram,
     thr: Thresholds,
@@ -109,7 +110,7 @@ impl MemtisPolicy {
             PeriodController::with_limits(cfg.cpu_limit, (cfg.load_period / 4).max(1), 1_000_000);
         MemtisPolicy {
             cfg,
-            pages: DetHashMap::default(),
+            pages: RegionTable::new(),
             page_hist: AccessHistogram::new(),
             base_hist: AccessHistogram::new(),
             thr: Thresholds::default(),
@@ -167,11 +168,12 @@ impl MemtisPolicy {
 
     /// Metadata view for tests and analysis tools.
     pub fn page_meta(&self, vpage: VirtPage) -> Option<&PageMeta> {
-        self.pages.get(&vpage)
+        self.pages.get(vpage)
     }
 
-    /// Iterates all tracked pages (analysis tools, Fig. 3 scatter).
-    pub fn pages_iter(&self) -> impl Iterator<Item = (&VirtPage, &PageMeta)> {
+    /// Iterates all tracked pages in ascending virtual-page order
+    /// (analysis tools, Fig. 3 scatter).
+    pub fn pages_iter(&self) -> impl Iterator<Item = (VirtPage, &PageMeta)> {
         self.pages.iter()
     }
 
@@ -186,8 +188,7 @@ impl MemtisPolicy {
     }
 
     fn remove_from_hists(&mut self, meta: &PageMeta) {
-        self.page_hist
-            .remove(meta.bin as usize, meta.pages_4k());
+        self.page_hist.remove(meta.bin as usize, meta.pages_4k());
         match &meta.sub {
             Some(sub) => {
                 for &b in sub.bins.iter() {
@@ -233,105 +234,109 @@ impl MemtisPolicy {
         self.collapse_queue.clear();
 
         let mut visited_4k = 0u64;
-        // Collapse detection: per huge-aligned group of base pages, count
-        // (hot, total, resident-in-fast).
-        let mut groups: DetHashMap<VirtPage, (u16, u16, bool)> = DetHashMap::default();
-
-        let keys: Vec<VirtPage> = self.pages.keys().copied().collect();
-        for vpage in keys {
-            let meta = self.pages.get_mut(&vpage).expect("key just listed");
-            visited_4k += meta.pages_4k();
-            // Halve the count; the histogram shift already assumed the bin
-            // dropped by exactly one, so correct any page whose halved
-            // hotness lands elsewhere (top bin, or collapse to zero).
-            meta.count /= 2;
-            let assumed = (meta.bin as usize).saturating_sub(1);
-            let hotness = meta.hotness();
-            let actual = bin_of(hotness);
-            meta.bin = actual as u8;
-            let pages_4k = meta.pages_4k();
-            let is_huge = meta.size == PageSize::Huge;
-            // Subpage cooling with the same correction on the base hist.
-            let mut sub_moves: Vec<(usize, usize)> = Vec::new();
-            if let Some(sub) = meta.sub.as_mut() {
-                for j in 0..NR_SUBPAGES as usize {
-                    sub.counts[j] /= 2;
-                    let a = (sub.bins[j] as usize).saturating_sub(1);
-                    let n = bin_of(subpage_hotness(sub.counts[j]));
-                    sub.bins[j] = n as u8;
-                    if a != n {
-                        sub_moves.push((a, n));
+        // The region table sorts its scan order and packs each 2 MiB
+        // region's entries contiguously, so collapse detection needs no
+        // auxiliary grouping map: count (hot, total, resident-in-fast)
+        // inline while sweeping each region.
+        for region in self.pages.regions_sorted() {
+            let mut grp_hot: u16 = 0;
+            let mut grp_total: u16 = 0;
+            let mut grp_all_fast = true;
+            for j in 0..NR_SUBPAGES {
+                let vpage = VirtPage((region << 9) | j);
+                let Some(meta) = self.pages.get_mut(vpage) else {
+                    continue;
+                };
+                visited_4k += meta.pages_4k();
+                // Halve the count; the histogram shift already assumed the
+                // bin dropped by exactly one, so correct any page whose
+                // halved hotness lands elsewhere (top bin, or zero).
+                meta.count /= 2;
+                let assumed = (meta.bin as usize).saturating_sub(1);
+                let hotness = meta.hotness();
+                let actual = bin_of(hotness);
+                meta.bin = actual as u8;
+                let pages_4k = meta.pages_4k();
+                let is_huge = meta.size == PageSize::Huge;
+                // Subpage cooling with the same correction on the base hist.
+                let mut sub_moves: Vec<(usize, usize)> = Vec::new();
+                if let Some(sub) = meta.sub.as_mut() {
+                    for s in 0..NR_SUBPAGES as usize {
+                        sub.counts[s] /= 2;
+                        let a = (sub.bins[s] as usize).saturating_sub(1);
+                        let n = bin_of(subpage_hotness(sub.counts[s]));
+                        sub.bins[s] = n as u8;
+                        if a != n {
+                            sub_moves.push((a, n));
+                        }
                     }
                 }
-            }
-            let base_move = if meta.sub.is_none() {
-                let a = assumed;
-                (a != actual).then_some((a, actual))
-            } else {
-                None
-            };
-            let bin_now = meta.bin as usize;
-            let _ = meta;
+                let base_move = if meta.sub.is_none() {
+                    let a = assumed;
+                    (a != actual).then_some((a, actual))
+                } else {
+                    None
+                };
+                let bin_now = meta.bin as usize;
+                let _ = meta;
 
-            if assumed != actual {
-                self.page_hist.move_pages(assumed, actual, pages_4k);
-            }
-            for (a, n) in sub_moves {
-                self.base_hist.move_pages(a, n, 1);
-            }
-            if let Some((a, n)) = base_move {
-                self.base_hist.move_pages(a, n, 1);
-            }
-
-            // Classify for the demotion lists (fast-tier residents only).
-            let in_fast = matches!(ops.locate(vpage), Some((t, _)) if t == TierId::FAST);
-            if in_fast {
-                if self.thr.is_cold(bin_now) {
-                    self.demote_cold.push_back(vpage);
-                } else if self.thr.is_warm(bin_now) {
-                    self.demote_warm.push_back(vpage);
+                if assumed != actual {
+                    self.page_hist.move_pages(assumed, actual, pages_4k);
                 }
-            }
+                for (a, n) in sub_moves {
+                    self.base_hist.move_pages(a, n, 1);
+                }
+                if let Some((a, n)) = base_move {
+                    self.base_hist.move_pages(a, n, 1);
+                }
 
-            // Skewness buckets for split candidate selection (§4.3.2).
-            // Only *genuinely* skewed pages are candidates: few hot
-            // subpages relative to the touched set, with the hottest
-            // subpage far above the mean. Splitting a uniformly hot huge
-            // page (or one whose subpage-count variation is sampling
-            // noise) would sacrifice TLB reach for no fast-tier savings.
-            if self.cfg.split && is_huge {
-                let meta = self.pages.get(&vpage).expect("still present");
-                // Any huge page with persistent subpage skew qualifies; a
-                // page that looks lukewarm at 2 MiB granularity may hold a
-                // very hot record — that is precisely the Silo pattern.
-                if let Some(p) = meta.skew_profile(self.base_thr.hot) {
-                    if p.is_genuinely_skewed() {
-                        let bucket =
-                            (p.skewness.max(1.0).log2() as usize).min(SKEW_BUCKETS - 1);
-                        self.skew_buckets[bucket].push(vpage);
+                // Classify for the demotion lists (fast-tier residents only).
+                let in_fast = matches!(ops.locate(vpage), Some((t, _)) if t == TierId::FAST);
+                if in_fast {
+                    if self.thr.is_cold(bin_now) {
+                        self.demote_cold.push_back(vpage);
+                    } else if self.thr.is_warm(bin_now) {
+                        self.demote_warm.push_back(vpage);
                     }
                 }
+
+                // Skewness buckets for split candidate selection (§4.3.2).
+                // Only *genuinely* skewed pages are candidates: few hot
+                // subpages relative to the touched set, with the hottest
+                // subpage far above the mean. Splitting a uniformly hot
+                // huge page (or one whose subpage-count variation is
+                // sampling noise) would sacrifice TLB reach for no
+                // fast-tier savings.
+                if self.cfg.split && is_huge {
+                    let meta = self.pages.get(vpage).expect("still present");
+                    // Any huge page with persistent subpage skew qualifies;
+                    // a page that looks lukewarm at 2 MiB granularity may
+                    // hold a very hot record — precisely the Silo pattern.
+                    if let Some(p) = meta.skew_profile(self.base_thr.hot) {
+                        if p.is_genuinely_skewed() {
+                            let bucket =
+                                (p.skewness.max(1.0).log2() as usize).min(SKEW_BUCKETS - 1);
+                            self.skew_buckets[bucket].push(vpage);
+                        }
+                    }
+                }
+
+                // Collapse candidacy bookkeeping (hot base pages only).
+                if self.cfg.collapse && !is_huge {
+                    grp_total += 1;
+                    if self.thr.is_hot(bin_now) {
+                        grp_hot += 1;
+                    }
+                    grp_all_fast &= in_fast;
+                }
             }
 
-            // Collapse candidacy bookkeeping (hot base pages only).
-            if self.cfg.collapse && !is_huge {
-                let hot = self.thr.is_hot(bin_now);
-                let e = groups
-                    .entry(vpage.huge_aligned())
-                    .or_insert((0, 0, true));
-                e.1 += 1;
-                if hot {
-                    e.0 += 1;
-                }
-                e.2 &= in_fast;
-            }
-        }
-
-        if self.cfg.collapse {
-            for (group, (hot, total, all_fast)) in groups {
-                if total as u64 == NR_SUBPAGES && hot == total && all_fast {
-                    self.collapse_queue.push_back(group);
-                }
+            if self.cfg.collapse
+                && grp_total as u64 == NR_SUBPAGES
+                && grp_hot == grp_total
+                && grp_all_fast
+            {
+                self.collapse_queue.push_back(VirtPage(region << 9));
             }
         }
 
@@ -409,7 +414,7 @@ impl MemtisPolicy {
         let Some((tier, PageSize::Huge)) = ops.locate(vpage) else {
             return false;
         };
-        let Some(meta) = self.pages.get(&vpage) else {
+        let Some(meta) = self.pages.get(vpage) else {
             return false;
         };
         if meta.size != PageSize::Huge {
@@ -417,10 +422,12 @@ impl MemtisPolicy {
         }
         // Which subpages survive the split (never-written ones are freed).
         let written: Vec<bool> = match ops.machine().huge_entry(vpage) {
-            Some(h) => (0..NR_SUBPAGES as usize).map(|i| h.subpage_written(i)).collect(),
+            Some(h) => (0..NR_SUBPAGES as usize)
+                .map(|i| h.subpage_written(i))
+                .collect(),
             None => return false,
         };
-        let meta = self.pages.remove(&vpage).expect("checked above");
+        let meta = self.pages.remove(vpage).expect("checked above");
         self.remove_from_hists(&meta);
         if ops.split_huge(vpage, true).is_err() {
             // Should not happen after validation; drop metadata consistently.
@@ -453,7 +460,7 @@ impl MemtisPolicy {
         // Re-validate: all subpages still base-mapped in the fast tier, hot.
         for j in 0..NR_SUBPAGES {
             let child = group.add(j);
-            match (ops.locate(child), self.pages.get(&child)) {
+            match (ops.locate(child), self.pages.get(child)) {
                 (Some((TierId::FAST, PageSize::Base)), Some(m))
                     if self.thr.is_hot(m.bin as usize) => {}
                 _ => return false,
@@ -466,7 +473,7 @@ impl MemtisPolicy {
         let mut total = 0u64;
         for j in 0..NR_SUBPAGES as usize {
             let child = group.add(j as u64);
-            let m = self.pages.remove(&child).expect("validated above");
+            let m = self.pages.remove(child).expect("validated above");
             self.remove_from_hists(&m);
             sub.counts[j] = m.count.min(u32::MAX as u64) as u32;
             sub.bins[j] = bin_of(subpage_hotness(sub.counts[j])) as u8;
@@ -492,7 +499,7 @@ impl MemtisPolicy {
     fn refill_demote_lists(&mut self, ops: &mut PolicyOps<'_>) {
         let mut cold = Vec::new();
         let mut warm = Vec::new();
-        for (&vpage, meta) in &self.pages {
+        for (vpage, meta) in self.pages.iter() {
             let bin = meta.bin as usize;
             if self.thr.is_hot(bin) {
                 continue;
@@ -525,7 +532,9 @@ impl MemtisPolicy {
             }
         });
         for vpage in touched {
-            let Some(meta) = self.pages.get_mut(&vpage) else { continue };
+            let Some(meta) = self.pages.get_mut(vpage) else {
+                continue;
+            };
             if meta.count > 0 {
                 continue; // Sampling already sees it.
             }
@@ -563,9 +572,13 @@ impl MemtisPolicy {
             } else {
                 self.demote_warm.pop_front().map(|v| (v, false))
             };
-            let Some((vpage, want_cold)) = candidate else { break };
+            let Some((vpage, want_cold)) = candidate else {
+                break;
+            };
             // Validate the (possibly stale) queue entry.
-            let Some(meta) = self.pages.get(&vpage) else { continue };
+            let Some(meta) = self.pages.get(vpage) else {
+                continue;
+            };
             let bin = meta.bin as usize;
             let ok_class = if want_cold {
                 self.thr.is_cold(bin)
@@ -610,7 +623,13 @@ impl TieringPolicy for MemtisPolicy {
         }
     }
 
-    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, _tier: TierId) {
+    fn on_alloc(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        vpage: VirtPage,
+        size: PageSize,
+        _tier: TierId,
+    ) {
         let count = self.initial_count(size);
         let meta = match size {
             PageSize::Huge => PageMeta::new_huge(count),
@@ -624,7 +643,7 @@ impl TieringPolicy for MemtisPolicy {
     }
 
     fn on_free(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, _size: PageSize) {
-        if let Some(meta) = self.pages.remove(&vpage) {
+        if let Some(meta) = self.pages.remove(vpage) {
             self.remove_from_hists(&meta);
         }
     }
@@ -642,7 +661,7 @@ impl TieringPolicy for MemtisPolicy {
             PageSize::Huge => (vpage.huge_aligned(), true),
             PageSize::Base => (vpage, false),
         };
-        if let Some(meta) = self.pages.get_mut(&key) {
+        if let Some(meta) = self.pages.get_mut(key) {
             meta.count += 1;
             let old_bin = meta.bin as usize;
             let new_bin = bin_of(meta.hotness());
@@ -666,7 +685,9 @@ impl TieringPolicy for MemtisPolicy {
             }
             // eHR: would this 4 KiB page hit if only base pages were used?
             let sampled_base_bin = if is_huge {
-                meta.sub.as_ref().map(|s| s.bins[vpage.subpage_index()] as usize)
+                meta.sub
+                    .as_ref()
+                    .map(|s| s.bins[vpage.subpage_index()] as usize)
             } else {
                 Some(new_bin)
             };
@@ -680,14 +701,14 @@ impl TieringPolicy for MemtisPolicy {
                 }
             }
             // Promotion candidates: hot pages currently in the capacity tier.
-            let meta = self.pages.get_mut(&key).expect("present");
+            let meta = self.pages.get_mut(key).expect("present");
             if self.thr.is_hot(new_bin) && outcome.tier != TierId::FAST && !meta.in_promo {
                 meta.in_promo = true;
                 self.promo.push_back(key);
             }
             if is_huge {
                 self.win_hp_samples += 1;
-                let meta = self.pages.get_mut(&key).expect("present");
+                let meta = self.pages.get_mut(key).expect("present");
                 if meta.epoch != self.epoch {
                     meta.epoch = self.epoch;
                     self.win_hp_distinct += 1;
@@ -743,15 +764,16 @@ impl TieringPolicy for MemtisPolicy {
     fn tick(&mut self, ops: &mut PolicyOps<'_>) {
         self.tick_count = self.tick_count.wrapping_add(1);
         if self.cfg.hybrid_scan_every_ticks > 0
-            && self.tick_count % self.cfg.hybrid_scan_every_ticks == 0
+            && self
+                .tick_count
+                .is_multiple_of(self.cfg.hybrid_scan_every_ticks)
         {
             self.hybrid_scan(ops);
         }
         let mut budget = self.cfg.migrate_batch_bytes;
 
         // Fast-tier kmigrated: restore the free-space reserve (§4.2.3).
-        let reserve =
-            (ops.capacity_bytes(TierId::FAST) as f64 * self.cfg.free_reserve_frac) as u64;
+        let reserve = (ops.capacity_bytes(TierId::FAST) as f64 * self.cfg.free_reserve_frac) as u64;
         let need_space = ops.free_bytes(TierId::FAST) < reserve
             || self
                 .promo
@@ -775,18 +797,26 @@ impl TieringPolicy for MemtisPolicy {
 
         // Page-size daemon: splits, then conservative collapses.
         for _ in 0..self.cfg.max_splits_per_tick {
-            let Some(vpage) = self.split_queue.pop_front() else { break };
+            let Some(vpage) = self.split_queue.pop_front() else {
+                break;
+            };
             self.do_split(ops, vpage);
         }
         for _ in 0..self.cfg.max_collapses_per_tick {
-            let Some(group) = self.collapse_queue.pop_front() else { break };
+            let Some(group) = self.collapse_queue.pop_front() else {
+                break;
+            };
             self.do_collapse(ops, group);
         }
 
         // Capacity-tier kmigrated: promote hot pages while space remains.
         while budget > 0 {
-            let Some(vpage) = self.promo.pop_front() else { break };
-            let Some(meta) = self.pages.get_mut(&vpage) else { continue };
+            let Some(vpage) = self.promo.pop_front() else {
+                break;
+            };
+            let Some(meta) = self.pages.get_mut(vpage) else {
+                continue;
+            };
             meta.in_promo = false;
             let bin = meta.bin as usize;
             let size = meta.size;
@@ -799,12 +829,11 @@ impl TieringPolicy for MemtisPolicy {
             }
             // Make room if needed (demote cold, then warm).
             if ops.free_bytes(TierId::FAST) < size.bytes() {
-                let moved =
-                    self.demote_for_space(ops, size.bytes().max(reserve), budget);
+                let moved = self.demote_for_space(ops, size.bytes().max(reserve), budget);
                 budget = budget.saturating_sub(moved);
                 if ops.free_bytes(TierId::FAST) < size.bytes() {
                     // Could not secure space: re-queue and stop promoting.
-                    let meta = self.pages.get_mut(&vpage).expect("present");
+                    let meta = self.pages.get_mut(vpage).expect("present");
                     meta.in_promo = true;
                     self.promo.push_front(vpage);
                     break;
@@ -820,7 +849,7 @@ impl TieringPolicy for MemtisPolicy {
                     budget = budget.saturating_sub(size.bytes());
                 }
                 Err(SimError::OutOfMemory { .. }) => {
-                    let meta = self.pages.get_mut(&vpage).expect("present");
+                    let meta = self.pages.get_mut(vpage).expect("present");
                     meta.in_promo = true;
                     self.promo.push_front(vpage);
                     break;
@@ -1051,8 +1080,7 @@ mod tests {
         // Cool twice so the untouched pages decay to cold bins and the
         // demotion lists are rebuilt.
         for c in 0..6 {
-            let mut ops =
-                PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, c as f64 * 1e5);
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, c as f64 * 1e5);
             p.run_cooling(&mut ops);
         }
         {

@@ -19,7 +19,7 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use memtis_core::{MemtisConfig, MemtisPolicy};
 use memtis_sim::prelude::{
     Access, AccessOutcome, CostAccounting, CostSink, Machine, MachineConfig, PolicyOps, SimResult,
-    TieringPolicy, TierId,
+    TierId, TieringPolicy,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -130,8 +130,7 @@ impl Runtime {
                             }
                             let mut m = machine.lock();
                             let mut p = policy.lock();
-                            let mut ops =
-                                PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+                            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
                             p.tick(&mut ops);
                             stats.migration_wakeups.fetch_add(1, Ordering::Relaxed);
                         }
@@ -159,12 +158,14 @@ impl Runtime {
         let mut cur = start;
         while cur < start + bytes {
             let vpage = VirtAddr(cur).base_page();
-            let (size, step) =
-                if thp && cur.is_multiple_of(HUGE_PAGE_SIZE) && start + bytes - cur >= HUGE_PAGE_SIZE {
-                    (PageSize::Huge, HUGE_PAGE_SIZE)
-                } else {
-                    (PageSize::Base, 4096)
-                };
+            let (size, step) = if thp
+                && cur.is_multiple_of(HUGE_PAGE_SIZE)
+                && start + bytes - cur >= HUGE_PAGE_SIZE
+            {
+                (PageSize::Huge, HUGE_PAGE_SIZE)
+            } else {
+                (PageSize::Base, 4096)
+            };
             let tier = {
                 let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::App, 0.0);
                 p.alloc_tier(&mut ops, vpage, size)

@@ -127,6 +127,12 @@ pub struct RunReport {
     pub rss_final_bytes: u64,
     /// Timeline snapshots.
     pub timeline: Vec<Snapshot>,
+    /// Workload events processed (accesses + allocs + frees).
+    pub sim_events: u64,
+    /// *Host* wall-clock time the run took (ns) — simulator self-throughput,
+    /// not simulated time. Tracks the perf trajectory of the simulator
+    /// itself across PRs (see BENCH_*.json).
+    pub host_elapsed_ns: u64,
 }
 
 impl RunReport {
@@ -136,6 +142,16 @@ impl RunReport {
             0.0
         } else {
             self.accesses as f64 / (self.wall_ns * 1e-9)
+        }
+    }
+
+    /// Simulator self-throughput: workload events per second of *host*
+    /// wall-clock time.
+    pub fn self_events_per_sec(&self) -> f64 {
+        if self.host_elapsed_ns == 0 {
+            0.0
+        } else {
+            self.sim_events as f64 / (self.host_elapsed_ns as f64 * 1e-9)
         }
     }
 
@@ -225,7 +241,12 @@ impl<P: TieringPolicy> Simulation<P> {
     }
 
     fn alloc_one(&mut self, vpage: VirtPage, size: PageSize) -> SimResult<()> {
-        let mut ops = Self::ops(&mut self.machine, &mut self.acct, CostSink::App, self.wall_ns);
+        let mut ops = Self::ops(
+            &mut self.machine,
+            &mut self.acct,
+            CostSink::App,
+            self.wall_ns,
+        );
         let pref = self.policy.alloc_tier(&mut ops, vpage, size);
         let order: Vec<TierId> = {
             let n = self.machine.tier_count() as u8;
@@ -235,8 +256,12 @@ impl<P: TieringPolicy> Simulation<P> {
         };
         match self.machine.alloc_and_map_fallback(vpage, size, &order) {
             Ok((tier, _frame)) => {
-                let mut ops =
-                    Self::ops(&mut self.machine, &mut self.acct, CostSink::App, self.wall_ns);
+                let mut ops = Self::ops(
+                    &mut self.machine,
+                    &mut self.acct,
+                    CostSink::App,
+                    self.wall_ns,
+                );
                 self.policy.on_alloc(&mut ops, vpage, size, tier);
                 Ok(())
             }
@@ -279,16 +304,24 @@ impl<P: TieringPolicy> Simulation<P> {
                 Some((_, PageSize::Huge)) if vpage.is_huge_aligned() => {
                     let cost = self.machine.unmap_and_free(vpage, PageSize::Huge)?;
                     self.acct.app_extra_ns += cost;
-                    let mut ops =
-                        Self::ops(&mut self.machine, &mut self.acct, CostSink::App, self.wall_ns);
+                    let mut ops = Self::ops(
+                        &mut self.machine,
+                        &mut self.acct,
+                        CostSink::App,
+                        self.wall_ns,
+                    );
                     self.policy.on_free(&mut ops, vpage, PageSize::Huge);
                     cur += HUGE_PAGE_SIZE;
                 }
                 Some((_, PageSize::Base)) => {
                     let cost = self.machine.unmap_and_free(vpage, PageSize::Base)?;
                     self.acct.app_extra_ns += cost;
-                    let mut ops =
-                        Self::ops(&mut self.machine, &mut self.acct, CostSink::App, self.wall_ns);
+                    let mut ops = Self::ops(
+                        &mut self.machine,
+                        &mut self.acct,
+                        CostSink::App,
+                        self.wall_ns,
+                    );
                     self.policy.on_free(&mut ops, vpage, PageSize::Base);
                     cur += PageSize::Base.bytes();
                 }
@@ -318,13 +351,21 @@ impl<P: TieringPolicy> Simulation<P> {
 
         let app_before = self.acct.app_extra_ns;
         if outcome.hint_fault {
-            let mut ops =
-                Self::ops(&mut self.machine, &mut self.acct, CostSink::App, self.wall_ns);
+            let mut ops = Self::ops(
+                &mut self.machine,
+                &mut self.acct,
+                CostSink::App,
+                self.wall_ns,
+            );
             self.policy.on_hint_fault(&mut ops, outcome.vpage);
         }
         {
-            let mut ops =
-                Self::ops(&mut self.machine, &mut self.acct, CostSink::Daemon, self.wall_ns);
+            let mut ops = Self::ops(
+                &mut self.machine,
+                &mut self.acct,
+                CostSink::Daemon,
+                self.wall_ns,
+            );
             self.policy.on_access(&mut ops, &access, &outcome);
         }
         let fault_work = self.acct.app_extra_ns - app_before;
@@ -365,13 +406,7 @@ impl<P: TieringPolicy> Simulation<P> {
         self.wall_ns += stretch;
 
         let accesses = self.accesses - self.window.start_accesses;
-        let fast_hits = self
-            .machine
-            .stats
-            .tier_hits
-            .first()
-            .copied()
-            .unwrap_or(0);
+        let fast_hits = self.machine.stats.tier_hits.first().copied().unwrap_or(0);
         let total_hits: u64 = self.machine.stats.tier_hits.iter().sum();
         let wfast = fast_hits - self.window.start_fast_hits;
         let wtotal = total_hits - self.window.start_total_hits;
@@ -403,12 +438,14 @@ impl<P: TieringPolicy> Simulation<P> {
     /// Runs the workload to completion (or `max_accesses`) and reports.
     /// The simulation (machine and policy) remains inspectable afterwards.
     pub fn run(&mut self, workload: &mut dyn AccessStream) -> SimResult<RunReport> {
+        let host_start = std::time::Instant::now();
+        let mut sim_events = 0u64;
         {
-            let mut ops =
-                Self::ops(&mut self.machine, &mut self.acct, CostSink::Daemon, 0.0);
+            let mut ops = Self::ops(&mut self.machine, &mut self.acct, CostSink::Daemon, 0.0);
             self.policy.init(&mut ops);
         }
         while let Some(ev) = workload.next_event() {
+            sim_events += 1;
             match ev {
                 WorkloadEvent::Access(a) => self.handle_access(a)?,
                 WorkloadEvent::Alloc { addr, bytes, thp } => self.handle_alloc(addr, bytes, thp)?,
@@ -444,6 +481,8 @@ impl<P: TieringPolicy> Simulation<P> {
             rss_peak_bytes: self.rss_peak.max(self.machine.rss_bytes()),
             rss_final_bytes: self.machine.rss_bytes(),
             timeline: std::mem::take(&mut self.timeline),
+            sim_events,
+            host_elapsed_ns: host_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         })
     }
 }
@@ -503,6 +542,8 @@ mod tests {
         assert!(r.wall_ns > 0.0);
         assert_eq!(r.stats.loads, 1);
         assert_eq!(r.stats.stores, 1);
+        assert_eq!(r.sim_events, 4);
+        assert!(r.self_events_per_sec() > 0.0);
     }
 
     #[test]

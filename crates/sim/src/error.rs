@@ -68,6 +68,8 @@ mod tests {
         };
         assert!(e.to_string().contains("tier0"));
         assert!(e.to_string().contains("2MiB"));
-        assert!(SimError::NotMapped(VirtPage(4)).to_string().contains("vpn0x4"));
+        assert!(SimError::NotMapped(VirtPage(4))
+            .to_string()
+            .contains("vpn0x4"));
     }
 }

@@ -156,7 +156,12 @@ impl Machine {
     }
 
     /// Allocates a frame on `tier` and maps `vpage` to it.
-    pub fn alloc_and_map(&mut self, vpage: VirtPage, size: PageSize, tier: TierId) -> SimResult<Frame> {
+    pub fn alloc_and_map(
+        &mut self,
+        vpage: VirtPage,
+        size: PageSize,
+        tier: TierId,
+    ) -> SimResult<Frame> {
         let frame = self.tiers[tier.0 as usize].alloc(size)?;
         let res = match size {
             PageSize::Base => self.pt.map_base(vpage, frame),
@@ -228,17 +233,114 @@ impl Machine {
 
     /// Executes one access. Returns `Err(NotMapped)` on a demand fault; the
     /// driver maps the page and retries.
+    ///
+    /// This is the single-walk fast path: one [`PageTable::walk_mut`]
+    /// descent (often skipped entirely by the table's one-entry walk cache)
+    /// yields the translation *and* the mutable entry on which the hint bit
+    /// is cleared and the accessed/dirty bits are set — where the machine
+    /// formerly walked the table up to three times per access. Outcomes,
+    /// statistics, and page-table state are bit-identical to
+    /// [`Machine::access_reference`], the retained triple-walk
+    /// implementation (enforced by a property test).
+    #[inline]
     pub fn access(&mut self, access: Access) -> SimResult<AccessOutcome> {
         let vpage = access.vaddr.base_page();
-        let tr = self
-            .pt
-            .translate(vpage)
-            .ok_or(SimError::NotMapped(vpage))?;
+        let is_store = access.is_store();
+
+        // One walk: read the translation, clear the hint bit, and set the
+        // reference bits (harvested by page-table-scanning policies) in a
+        // single pass over the entry.
+        let (frame, size, hint_fault) =
+            match self.pt.walk_mut(vpage).ok_or(SimError::NotMapped(vpage))? {
+                EntryMut::Base(p) => {
+                    let hint = p.hint;
+                    p.hint = false;
+                    p.accessed = true;
+                    if is_store {
+                        p.dirty = true;
+                        p.ever_written = true;
+                    }
+                    (p.frame, PageSize::Base, hint)
+                }
+                EntryMut::Huge(h) => {
+                    let hint = h.hint;
+                    h.hint = false;
+                    h.accessed = true;
+                    if is_store {
+                        h.dirty = true;
+                        h.mark_subpage_written(vpage.subpage_index());
+                    }
+                    (
+                        h.frame.add(vpage.subpage_index() as u64),
+                        PageSize::Huge,
+                        hint,
+                    )
+                }
+            };
+
         let mut latency = 0.0;
-        let mut hint_fault = false;
 
         // NUMA-hint fault: trap cost, then the access proceeds (the driver
         // notifies the policy afterwards).
+        if hint_fault {
+            latency += self.cfg.costs.fault_overhead_ns;
+            self.stats.hint_faults += 1;
+        }
+
+        // Address translation.
+        let tlb_hit = self.tlb.lookup(vpage, size);
+        if !tlb_hit {
+            latency += size.walk_levels() as f64 * self.cfg.costs.walk_level_ns;
+            self.tlb.insert(vpage, size);
+        }
+
+        // Cache and memory.
+        let paddr = crate::addr::PhysAddr(frame.addr().0 + access.vaddr.base_offset());
+        let tier = self.tier_of_frame(frame);
+        let llc_hit = self.llc.access(paddr);
+        if llc_hit {
+            latency += self.cfg.costs.llc_hit_ns;
+        } else {
+            let spec = self.cfg.tier(tier);
+            latency += if is_store {
+                spec.store_ns
+            } else {
+                spec.load_ns
+            };
+            self.stats.count_tier_hit(tier);
+        }
+
+        if is_store {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+
+        Ok(AccessOutcome {
+            latency_ns: latency,
+            vpage,
+            page_size: size,
+            tier,
+            llc_miss: !llc_hit,
+            tlb_miss: !tlb_hit,
+            hint_fault,
+            demand_fault: false,
+        })
+    }
+
+    /// The original triple-walk implementation of [`Machine::access`], kept
+    /// as the bit-exactness oracle for the fast path: the equivalence
+    /// property test and the `hotpath` benchmark drive one machine through
+    /// `access` and an identical twin through `access_reference` and demand
+    /// byte-identical outcomes, statistics, and page-table state.
+    #[inline]
+    pub fn access_reference(&mut self, access: Access) -> SimResult<AccessOutcome> {
+        let vpage = access.vaddr.base_page();
+        let tr = self.pt.translate(vpage).ok_or(SimError::NotMapped(vpage))?;
+        let mut latency = 0.0;
+        let mut hint_fault = false;
+
+        // NUMA-hint fault: trap cost, then the access proceeds.
         if tr.hint {
             hint_fault = true;
             latency += self.cfg.costs.fault_overhead_ns;
@@ -316,10 +418,7 @@ impl Machine {
     /// moves. Fails with `OutOfMemory` if `dst` has no free frame (callers
     /// demote first to make room).
     pub fn migrate(&mut self, vpage: VirtPage, dst: TierId) -> SimResult<MigrateOutcome> {
-        let tr = self
-            .pt
-            .translate(vpage)
-            .ok_or(SimError::NotMapped(vpage))?;
+        let tr = self.pt.translate(vpage).ok_or(SimError::NotMapped(vpage))?;
         if tr.size == PageSize::Huge && !vpage.is_huge_aligned() {
             return Err(SimError::Unaligned(vpage));
         }
@@ -328,6 +427,9 @@ impl Machine {
             return Err(SimError::SameTier(src));
         }
         let new_frame = self.tiers[dst.0 as usize].alloc(tr.size)?;
+        // Migration remaps the page: drop the walk cache per the fast-path
+        // invalidation rule (map/unmap/migrate/split/collapse).
+        self.pt.invalidate_walk_cache();
         let old_frame = match self.pt.entry_mut(vpage) {
             Some(EntryMut::Base(p)) => std::mem::replace(&mut p.frame, new_frame),
             Some(EntryMut::Huge(h)) => std::mem::replace(&mut h.frame, new_frame),
@@ -364,7 +466,11 @@ impl Machine {
     /// individually-managed base pages). When `free_zero_subpages` is set,
     /// never-written subpages are unmapped and freed, reclaiming THP bloat
     /// (§4.3.3).
-    pub fn split_huge(&mut self, vpage: VirtPage, free_zero_subpages: bool) -> SimResult<SplitOutcome> {
+    pub fn split_huge(
+        &mut self,
+        vpage: VirtPage,
+        free_zero_subpages: bool,
+    ) -> SimResult<SplitOutcome> {
         let old = self.pt.split_huge(vpage)?;
         let tier = self.tier_of_frame(old.frame);
         self.tiers[tier.0 as usize].split_used_huge(old.frame);
@@ -436,7 +542,10 @@ mod tests {
     use crate::addr::HUGE_PAGE_SIZE;
 
     fn machine() -> Machine {
-        Machine::new(MachineConfig::dram_nvm(4 * HUGE_PAGE_SIZE, 16 * HUGE_PAGE_SIZE))
+        Machine::new(MachineConfig::dram_nvm(
+            4 * HUGE_PAGE_SIZE,
+            16 * HUGE_PAGE_SIZE,
+        ))
     }
 
     #[test]
@@ -554,10 +663,7 @@ mod tests {
         assert_eq!(m.locate(VirtPage(7)), Some((TierId::FAST, PageSize::Base)));
         assert_eq!(m.locate(VirtPage(1)), None);
         // Freed frames are allocatable again.
-        assert_eq!(
-            m.free_bytes(TierId::FAST),
-            3 * HUGE_PAGE_SIZE + 509 * 4096
-        );
+        assert_eq!(m.free_bytes(TierId::FAST), 3 * HUGE_PAGE_SIZE + 509 * 4096);
     }
 
     #[test]
@@ -641,6 +747,61 @@ mod tests {
         m.unmap_and_free(VirtPage(0), PageSize::Huge).unwrap();
         assert_eq!(m.free_bytes(TierId::FAST), before + HUGE_PAGE_SIZE);
         assert_eq!(m.rss_bytes(), 0);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_mixed_sequence() {
+        // Deterministic smoke version of the equivalence property test:
+        // identical machines, one driven by the fast path and one by the
+        // reference path, must agree on every outcome and final stats.
+        let mut fast = machine();
+        let mut refm = machine();
+        for m in [&mut fast, &mut refm] {
+            m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+                .unwrap();
+            m.alloc_and_map(VirtPage(512), PageSize::Huge, TierId::CAPACITY)
+                .unwrap();
+            m.alloc_and_map(VirtPage(2048), PageSize::Base, TierId::CAPACITY)
+                .unwrap();
+            m.set_hint(VirtPage(512));
+        }
+        let mut x = 12345u64;
+        for step in 0..4000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = match x % 3 {
+                0 => (x >> 8) % (512 * 4096),
+                1 => 512 * 4096 + (x >> 8) % (512 * 4096),
+                _ => 2048 * 4096 + (x >> 8) % 4096,
+            };
+            let acc = if x.is_multiple_of(5) {
+                Access::store(addr)
+            } else {
+                Access::load(addr)
+            };
+            let a = fast.access(acc).unwrap();
+            let b = refm.access_reference(acc).unwrap();
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "diverged at step {step}"
+            );
+            if step == 2000 {
+                // Interleave a migration to exercise cache invalidation.
+                let _ = fast.migrate(VirtPage(2048), TierId::FAST);
+                let _ = refm.migrate(VirtPage(2048), TierId::FAST);
+            }
+        }
+        assert_eq!(format!("{:?}", fast.stats), format!("{:?}", refm.stats));
+        assert_eq!(
+            format!("{:?}", fast.tlb_stats()),
+            format!("{:?}", refm.tlb_stats())
+        );
+        assert_eq!(
+            format!("{:?}", fast.llc_stats()),
+            format!("{:?}", refm.llc_stats())
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::addr::{Frame, PageSize, VirtPage, NR_SUBPAGES};
 use crate::error::{SimError, SimResult};
+use std::ptr::NonNull;
 
 const FANOUT: usize = 512;
 const SUBPAGE_WORDS: usize = (NR_SUBPAGES as usize) / 64;
@@ -157,13 +158,76 @@ pub enum EntryMut<'a> {
     Huge(&'a mut HugeEntry),
 }
 
+/// Sentinel meaning "this walk-cache way holds nothing".
+const NO_REGION: u64 = u64::MAX;
+
+/// Number of ways in the software walk cache. Power of two so the way index
+/// is a mask; 1024 regions cover 2 GiB of virtual space, comfortably more
+/// than the simulated working sets hop across between structural changes.
+const WALK_CACHE_WAYS: usize = 1024;
+
+/// One way of the walk cache; valid while `gen` matches the cache's current
+/// generation *and* `region` matches the probe.
+#[derive(Debug, Clone, Copy)]
+struct WalkCacheWay {
+    /// `vpn >> 9` of the cached region, or [`NO_REGION`].
+    region: u64,
+    /// Generation this way was filled in.
+    gen: u64,
+    /// Pointer into this table's own heap allocations; only dereferenced
+    /// while both tags above match, and the cache generation is bumped
+    /// before any structural change can invalidate the pointee.
+    slot: NonNull<L2Slot>,
+}
+
+/// Direct-mapped software walk cache: remembers the L2 (PMD) slot of
+/// recently walked 2 MiB regions (way = `region & 1023`), so repeated
+/// accesses inside cached regions skip the L4→L3→L2 descent entirely.
+///
+/// This is **simulator-speed machinery**, not the simulated TLB — it never
+/// affects costs or statistics. Correctness rule: any operation that can
+/// move, replace, or free an L2 slot (map/unmap/split/collapse — and, at the
+/// machine level, migrate) must call [`PageTable::invalidate_walk_cache`],
+/// which bumps the generation counter — an O(1) drop of *every* way — and
+/// is what keeps the fast path bit-exact with an uncached walk.
+#[derive(Debug)]
+struct WalkCache {
+    ways: Box<[WalkCacheWay]>,
+    /// Current generation; ways filled under an older generation are stale.
+    gen: u64,
+}
+
+impl WalkCache {
+    fn empty() -> Self {
+        WalkCache {
+            ways: vec![
+                WalkCacheWay {
+                    region: NO_REGION,
+                    gen: 0,
+                    slot: NonNull::dangling(),
+                };
+                WALK_CACHE_WAYS
+            ]
+            .into_boxed_slice(),
+            gen: 1,
+        }
+    }
+}
+
 /// The four-level page table of the simulated address space.
 #[derive(Debug)]
 pub struct PageTable {
     root: L4Table,
     mapped_base: u64,
     mapped_huge: u64,
+    walk_cache: WalkCache,
 }
+
+// SAFETY: `walk_cache.slot` points into heap allocations exclusively owned
+// by this `PageTable` (boxed tables never move when the struct itself is
+// moved between threads), so sending the table to another thread cannot
+// leave the pointer dangling. The cache is only read through `&mut self`.
+unsafe impl Send for PageTable {}
 
 #[inline]
 fn idx(vpn: u64, level: u32) -> usize {
@@ -186,7 +250,17 @@ impl PageTable {
             },
             mapped_base: 0,
             mapped_huge: 0,
+            walk_cache: WalkCache::empty(),
         }
+    }
+
+    /// Drops every way of the walk cache in O(1) by bumping the generation
+    /// counter. Must be called by every operation that structurally changes
+    /// the table (and by machine-level remaps such as migration, per the
+    /// fast-path invalidation rule).
+    #[inline]
+    pub fn invalidate_walk_cache(&mut self) {
+        self.walk_cache.gen += 1;
     }
 
     /// Number of mapped 4 KiB entries.
@@ -254,15 +328,56 @@ impl PageTable {
         }
     }
 
+    /// Single-walk access fast path: one descent yields the mutable entry
+    /// covering `vpage`, from which the caller reads the translation *and*
+    /// updates accessed/dirty/hint bits — replacing the former
+    /// translate + entry_mut + entry_mut triple walk.
+    ///
+    /// Calls landing in a cached 2 MiB region skip the descent via the
+    /// direct-mapped walk cache (see [`WalkCache`]); results are
+    /// bit-identical to an uncached walk because every structural mutation
+    /// invalidates the cache.
+    #[inline]
+    pub fn walk_mut(&mut self, vpage: VirtPage) -> Option<EntryMut<'_>> {
+        let region = vpage.0 >> 9;
+        let way_idx = (region as usize) & (WALK_CACHE_WAYS - 1);
+        let way = self.walk_cache.ways[way_idx];
+        let ptr = if way.region == region && way.gen == self.walk_cache.gen {
+            way.slot
+        } else {
+            let p = NonNull::from(self.l2_slot_mut(vpage.0, false)?);
+            let gen = self.walk_cache.gen;
+            self.walk_cache.ways[way_idx] = WalkCacheWay {
+                region,
+                gen,
+                slot: p,
+            };
+            p
+        };
+        // SAFETY: the pointer was produced from this table's own slot
+        // storage and the cache is invalidated before any operation that
+        // could move or free that storage; `&mut self` guarantees no other
+        // live borrow of the table.
+        let slot = unsafe { &mut *ptr.as_ptr() };
+        match slot {
+            L2Slot::Empty => None,
+            L2Slot::Huge(h) => Some(EntryMut::Huge(h)),
+            L2Slot::Table(t) => t.entries[idx(vpage.0, 1)].as_mut().map(EntryMut::Base),
+        }
+    }
+
     /// Maps a 4 KiB page to `frame`.
     pub fn map_base(&mut self, vpage: VirtPage, frame: Frame) -> SimResult<()> {
+        self.invalidate_walk_cache();
         let slot = self.l2_slot_mut(vpage.0, true).unwrap();
         match slot {
             L2Slot::Huge(_) => return Err(SimError::AlreadyMapped(vpage)),
             L2Slot::Empty => *slot = L2Slot::Table(Box::new(L1Table::new())),
             L2Slot::Table(_) => {}
         }
-        let L2Slot::Table(t) = slot else { unreachable!() };
+        let L2Slot::Table(t) = slot else {
+            unreachable!()
+        };
         let e = &mut t.entries[idx(vpage.0, 1)];
         if e.is_some() {
             return Err(SimError::AlreadyMapped(vpage));
@@ -278,6 +393,7 @@ impl PageTable {
         if !vpage.is_huge_aligned() {
             return Err(SimError::Unaligned(vpage));
         }
+        self.invalidate_walk_cache();
         let slot = self.l2_slot_mut(vpage.0, true).unwrap();
         match slot {
             L2Slot::Huge(_) => Err(SimError::AlreadyMapped(vpage)),
@@ -292,6 +408,7 @@ impl PageTable {
 
     /// Unmaps a 4 KiB page, returning the old entry.
     pub fn unmap_base(&mut self, vpage: VirtPage) -> SimResult<Pte> {
+        self.invalidate_walk_cache();
         let slot = self
             .l2_slot_mut(vpage.0, false)
             .ok_or(SimError::NotMapped(vpage))?;
@@ -317,6 +434,7 @@ impl PageTable {
         if !vpage.is_huge_aligned() {
             return Err(SimError::Unaligned(vpage));
         }
+        self.invalidate_walk_cache();
         let slot = self
             .l2_slot_mut(vpage.0, false)
             .ok_or(SimError::NotMapped(vpage))?;
@@ -359,6 +477,7 @@ impl PageTable {
         if !vpage.is_huge_aligned() {
             return Err(SimError::Unaligned(vpage));
         }
+        self.invalidate_walk_cache();
         let slot = self
             .l2_slot_mut(vpage.0, false)
             .ok_or(SimError::NotMapped(vpage))?;
@@ -393,6 +512,7 @@ impl PageTable {
         if !vpage.is_huge_aligned() {
             return Err(SimError::Unaligned(vpage));
         }
+        self.invalidate_walk_cache();
         let slot = self
             .l2_slot_mut(vpage.0, false)
             .ok_or(SimError::NotMapped(vpage))?;
@@ -405,7 +525,16 @@ impl PageTable {
         if t.mapped as u64 != NR_SUBPAGES {
             return Err(SimError::NotMapped(vpage));
         }
-        let ptes: Vec<Pte> = t.entries.iter().map(|e| e.unwrap()).collect();
+        // Collect without unwrap: a hole reports the exact unmapped subpage
+        // instead of panicking, even if the `mapped` counter were ever
+        // inconsistent with the entries.
+        let mut ptes: Vec<Pte> = Vec::with_capacity(FANOUT);
+        for (i, e) in t.entries.iter().enumerate() {
+            match e {
+                Some(p) => ptes.push(*p),
+                None => return Err(SimError::NotMapped(vpage.add(i as u64))),
+            }
+        }
         let mut h = HugeEntry::new(new_frame);
         for (i, p) in ptes.iter().enumerate() {
             h.accessed |= p.accessed;
@@ -579,6 +708,85 @@ mod tests {
         assert_eq!(seen.len(), 3);
         assert!(seen.contains(&(VirtPage(512 * 9), true)));
         assert!(seen.contains(&(VirtPage(1), false)));
+    }
+
+    #[test]
+    fn walk_mut_matches_translate() {
+        let mut pt = PageTable::new();
+        pt.map_base(VirtPage(7), Frame(70)).unwrap();
+        pt.map_huge(VirtPage(1024), Frame(2048)).unwrap();
+        for vp in [VirtPage(7), VirtPage(1024 + 33)] {
+            let tr = pt.translate(vp).unwrap();
+            let frame = match pt.walk_mut(vp).unwrap() {
+                EntryMut::Base(p) => p.frame,
+                EntryMut::Huge(h) => h.frame.add(vp.subpage_index() as u64),
+            };
+            assert_eq!(frame, tr.frame);
+        }
+        assert!(pt.walk_mut(VirtPage(999)).is_none());
+    }
+
+    #[test]
+    fn walk_cache_hits_within_region_and_survives_entry_edits() {
+        let mut pt = PageTable::new();
+        pt.map_huge(VirtPage(0), Frame(0)).unwrap();
+        // Populate the cache, then mutate through it repeatedly.
+        for i in 0..32u64 {
+            match pt.walk_mut(VirtPage(i)).unwrap() {
+                EntryMut::Huge(h) => h.mark_subpage_written(i as usize),
+                _ => panic!("expected huge entry"),
+            }
+        }
+        assert_eq!(pt.huge_entry(VirtPage(0)).unwrap().written_subpages(), 32);
+    }
+
+    #[test]
+    fn walk_cache_invalidated_by_structural_ops() {
+        let mut pt = PageTable::new();
+        pt.map_huge(VirtPage(0), Frame(0)).unwrap();
+        // Warm the cache on region 0.
+        assert!(pt.walk_mut(VirtPage(1)).is_some());
+        // Split replaces the cached slot's variant in place.
+        pt.split_huge(VirtPage(0)).unwrap();
+        match pt.walk_mut(VirtPage(1)).unwrap() {
+            EntryMut::Base(p) => assert_eq!(p.frame, Frame(1)),
+            EntryMut::Huge(_) => panic!("stale cache returned huge entry"),
+        }
+        // Unmap must be observed too.
+        pt.unmap_base(VirtPage(1)).unwrap();
+        assert!(pt.walk_mut(VirtPage(1)).is_none());
+        // Remap after collapse-like churn: map into a fresh region, then
+        // back to region 0, alternating — the cache must follow.
+        pt.map_base(VirtPage(512 * 5), Frame(4096)).unwrap();
+        match pt.walk_mut(VirtPage(512 * 5)).unwrap() {
+            EntryMut::Base(p) => assert_eq!(p.frame, Frame(4096)),
+            EntryMut::Huge(_) => panic!("wrong entry"),
+        }
+        match pt.walk_mut(VirtPage(2)).unwrap() {
+            EntryMut::Base(p) => assert_eq!(p.frame, Frame(2)),
+            EntryMut::Huge(_) => panic!("wrong entry"),
+        }
+    }
+
+    #[test]
+    fn collapse_partial_region_errors_instead_of_panicking() {
+        // Regression: collapse_huge used to `unwrap()` every subpage entry.
+        let mut pt = PageTable::new();
+        for i in 0..512u64 {
+            if i != 100 {
+                pt.map_base(VirtPage(i), Frame(i)).unwrap();
+            }
+        }
+        assert_eq!(
+            pt.collapse_huge(VirtPage(0), Frame(4096)),
+            Err(SimError::NotMapped(VirtPage(0)))
+        );
+        // The table stays intact and usable: filling the hole lets the
+        // collapse succeed.
+        pt.map_base(VirtPage(100), Frame(100)).unwrap();
+        let old = pt.collapse_huge(VirtPage(0), Frame(4096)).unwrap();
+        assert_eq!(old.len(), 512);
+        assert_eq!(pt.mapped_huge_pages(), 1);
     }
 
     #[test]

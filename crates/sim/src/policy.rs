@@ -189,7 +189,13 @@ pub trait TieringPolicy {
     }
 
     /// Notification that a page was mapped (new allocation or demand fault).
-    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, _vpage: VirtPage, _size: PageSize, _tier: TierId) {
+    fn on_alloc(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        _vpage: VirtPage,
+        _size: PageSize,
+        _tier: TierId,
+    ) {
     }
 
     /// Notification that a page was unmapped by the workload.

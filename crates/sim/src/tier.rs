@@ -38,6 +38,9 @@ pub struct TierAllocator {
     tier: TierId,
     /// First global frame number owned by this tier.
     frame_start: u64,
+    /// One past the last frame owned (cached: the block count is fixed at
+    /// construction, and `owns` sits on the per-access hot path).
+    frame_end: u64,
     /// Number of 2 MiB blocks in this tier.
     blocks: Vec<BlockState>,
     /// Stack of fully-free block indices.
@@ -57,6 +60,7 @@ impl TierAllocator {
         TierAllocator {
             tier,
             frame_start,
+            frame_end: frame_start + n_blocks as u64 * NR_SUBPAGES,
             blocks: vec![BlockState::FreeHuge; n_blocks],
             huge_free: (0..n_blocks as u32).rev().collect(),
             base_free: Vec::new(),
@@ -86,13 +90,12 @@ impl TierAllocator {
 
     /// Whether `frame` belongs to this tier.
     pub fn owns(&self, frame: Frame) -> bool {
-        frame.0 >= self.frame_start
-            && frame.0 < self.frame_start + self.blocks.len() as u64 * NR_SUBPAGES
+        frame.0 >= self.frame_start && frame.0 < self.frame_end
     }
 
     /// One past the last frame owned by this tier.
     pub fn frame_end(&self) -> u64 {
-        self.frame_start + self.blocks.len() as u64 * NR_SUBPAGES
+        self.frame_end
     }
 
     fn block_of(&self, frame: Frame) -> usize {
@@ -271,10 +274,7 @@ mod tests {
         for _ in 0..4 {
             t.alloc_huge().unwrap();
         }
-        assert!(matches!(
-            t.alloc_huge(),
-            Err(SimError::OutOfMemory { .. })
-        ));
+        assert!(matches!(t.alloc_huge(), Err(SimError::OutOfMemory { .. })));
         assert_eq!(t.free_bytes(), 0);
     }
 

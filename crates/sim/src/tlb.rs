@@ -10,17 +10,30 @@ use crate::config::TlbSpec;
 
 #[derive(Debug, Clone, Copy)]
 struct TlbEntry {
-    /// Page-size-specific tag: vpn for 4 KiB, vpn/512 for 2 MiB.
-    tag: u64,
+    /// Page-size-specific tag (vpn for 4 KiB, vpn/512 for 2 MiB) shifted
+    /// left one, with the valid flag in bit 0 — one load and one compare
+    /// match both on the per-access probe.
+    tag_valid: u64,
     /// LRU timestamp.
     stamp: u64,
-    valid: bool,
+}
+
+impl TlbEntry {
+    #[inline]
+    fn valid(&self) -> bool {
+        self.tag_valid & 1 != 0
+    }
+}
+
+/// Encodes `tag` as a valid entry key.
+#[inline]
+fn key(tag: u64) -> u64 {
+    (tag << 1) | 1
 }
 
 const INVALID: TlbEntry = TlbEntry {
-    tag: 0,
+    tag_valid: 0,
     stamp: 0,
-    valid: false,
 };
 
 /// One set-associative lookup structure.
@@ -28,6 +41,10 @@ const INVALID: TlbEntry = TlbEntry {
 struct TlbArray {
     sets: usize,
     ways: usize,
+    /// `sets - 1` when `sets` is a power of two (every preset geometry),
+    /// letting [`Self::set_of`] mask instead of divide on the hot path;
+    /// `usize::MAX` otherwise.
+    set_mask: usize,
     entries: Vec<TlbEntry>,
     clock: u64,
 }
@@ -39,6 +56,11 @@ impl TlbArray {
         TlbArray {
             sets,
             ways,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                usize::MAX
+            },
             entries: vec![INVALID; sets * ways],
             clock: 0,
         }
@@ -46,14 +68,19 @@ impl TlbArray {
 
     #[inline]
     fn set_of(&self, tag: u64) -> usize {
-        (tag as usize) % self.sets
+        if self.set_mask != usize::MAX {
+            (tag as usize) & self.set_mask
+        } else {
+            (tag as usize) % self.sets
+        }
     }
 
     fn lookup(&mut self, tag: u64) -> bool {
         self.clock += 1;
+        let k = key(tag);
         let s = self.set_of(tag) * self.ways;
         for e in &mut self.entries[s..s + self.ways] {
-            if e.valid && e.tag == tag {
+            if e.tag_valid == k {
                 e.stamp = self.clock;
                 return true;
             }
@@ -68,20 +95,20 @@ impl TlbArray {
         // Prefer an invalid way; otherwise evict the LRU way.
         let victim = set
             .iter_mut()
-            .min_by_key(|e| if e.valid { e.stamp + 1 } else { 0 })
+            .min_by_key(|e| if e.valid() { e.stamp + 1 } else { 0 })
             .unwrap();
         *victim = TlbEntry {
-            tag,
+            tag_valid: key(tag),
             stamp: self.clock,
-            valid: true,
         };
     }
 
     fn invalidate(&mut self, tag: u64) {
+        let k = key(tag);
         let s = self.set_of(tag) * self.ways;
         for e in &mut self.entries[s..s + self.ways] {
-            if e.valid && e.tag == tag {
-                e.valid = false;
+            if e.tag_valid == k {
+                e.tag_valid &= !1;
             }
         }
     }

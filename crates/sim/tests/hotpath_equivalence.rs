@@ -1,0 +1,129 @@
+//! Property test: the single-walk fast path (`Machine::access`) plus its
+//! one-entry translation cache is *bit-exact* with the retained three-walk
+//! reference path (`Machine::access_reference`) under random interleavings
+//! of accesses with map/unmap/migrate/split/collapse/hint operations.
+//!
+//! Two identically configured machines replay the same operation sequence;
+//! one uses the fast path, the other the reference path. After every step
+//! the outcomes (including errors) must render identically, and at the end
+//! the machine stats, TLB/LLC counters, and the full page-table state
+//! (frames, accessed/dirty/hint bits, per-subpage write masks) must match.
+
+use memtis_sim::page_table::EntryMut;
+use memtis_sim::prelude::*;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+const REGIONS: u64 = 4;
+const VPN_SPACE: u64 = REGIONS * 512;
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::dram_nvm(
+        4 * HUGE_PAGE_SIZE,
+        16 * HUGE_PAGE_SIZE,
+    ))
+}
+
+/// Serializes every page-table entry (bits included) for comparison.
+fn pt_state(m: &mut Machine) -> String {
+    let mut s = String::new();
+    m.scan_entries(|v, e| match e {
+        EntryMut::Base(p) => {
+            let _ = writeln!(s, "{} B {:?}", v.0, p);
+        }
+        EntryMut::Huge(h) => {
+            let _ = writeln!(s, "{} H {:?}", v.0, h);
+        }
+    });
+    s
+}
+
+/// Applies one non-access operation, returning a result fingerprint that
+/// must match between the two machines.
+fn apply_structural(m: &mut Machine, op: u8, vpn: u64, flag: bool) -> String {
+    let vpage = VirtPage(vpn % VPN_SPACE);
+    let tier = if flag { TierId::FAST } else { TierId::CAPACITY };
+    match op {
+        2 => format!("{:?}", m.alloc_and_map(vpage, PageSize::Base, tier)),
+        3 => {
+            let v = vpage.huge_aligned();
+            format!("{:?}", m.alloc_and_map(v, PageSize::Huge, tier))
+        }
+        4 => match m.locate(vpage) {
+            Some((_, size)) => {
+                let v = if size == PageSize::Huge {
+                    vpage.huge_aligned()
+                } else {
+                    vpage
+                };
+                format!("{:?}", m.unmap_and_free(v, size))
+            }
+            None => "unmapped".to_string(),
+        },
+        5 => match m.locate(vpage) {
+            Some((_, size)) => {
+                let v = if size == PageSize::Huge {
+                    vpage.huge_aligned()
+                } else {
+                    vpage
+                };
+                format!("{:?}", m.migrate(v, tier))
+            }
+            None => "unmapped".to_string(),
+        },
+        6 => format!("{}", m.set_hint(vpage)),
+        7 => {
+            let v = vpage.huge_aligned();
+            if flag {
+                format!("{:?}", m.split_huge(v, true))
+            } else {
+                format!("{:?}", m.collapse_huge(v, TierId::FAST))
+            }
+        }
+        _ => unreachable!("op space is 0..8"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn fast_path_is_bit_exact_with_reference(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..VPN_SPACE, proptest::bool::ANY),
+            1..250,
+        )
+    ) {
+        let mut fast = machine();
+        let mut reference = machine();
+        for &(op, vpn, flag) in &ops {
+            if op < 2 {
+                // Memory access: loads and stores, sub-page offsets varied.
+                let addr = (vpn % VPN_SPACE) * 4096 + (vpn % 61) * 64;
+                let a = if op == 0 {
+                    Access::load(addr)
+                } else {
+                    Access::store(addr)
+                };
+                let via_fast = fast.access(a);
+                let via_ref = reference.access_reference(a);
+                prop_assert_eq!(format!("{via_fast:?}"), format!("{via_ref:?}"));
+            } else {
+                let r1 = apply_structural(&mut fast, op, vpn, flag);
+                let r2 = apply_structural(&mut reference, op, vpn, flag);
+                prop_assert_eq!(r1, r2);
+            }
+        }
+        prop_assert_eq!(
+            format!("{:?}", fast.stats),
+            format!("{:?}", reference.stats)
+        );
+        prop_assert_eq!(
+            format!("{:?}", fast.tlb_stats()),
+            format!("{:?}", reference.tlb_stats())
+        );
+        prop_assert_eq!(
+            format!("{:?}", fast.llc_stats()),
+            format!("{:?}", reference.llc_stats())
+        );
+        prop_assert_eq!(pt_state(&mut fast), pt_state(&mut reference));
+    }
+}

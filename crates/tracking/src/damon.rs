@@ -158,9 +158,7 @@ impl Damon {
     }
 
     fn find_region_mut(&mut self, vpage: VirtPage) -> Option<&mut Region> {
-        let idx = self
-            .regions
-            .partition_point(|r| r.end.0 <= vpage.0);
+        let idx = self.regions.partition_point(|r| r.end.0 <= vpage.0);
         let r = self.regions.get_mut(idx)?;
         (r.start.0 <= vpage.0 && vpage.0 < r.end.0).then_some(r)
     }
@@ -194,8 +192,7 @@ impl Damon {
             match merged.last_mut() {
                 Some(last)
                     if last.end == r.start
-                        && last.nr_accesses.abs_diff(r.nr_accesses)
-                            <= self.cfg.merge_threshold =>
+                        && last.nr_accesses.abs_diff(r.nr_accesses) <= self.cfg.merge_threshold =>
                 {
                     last.end = r.end;
                     last.nr_accesses = last.nr_accesses.max(r.nr_accesses);
@@ -266,7 +263,11 @@ impl Damon {
             start: mid,
             end: r.end,
             nr_accesses: r.nr_accesses,
-            armed: if r.armed.0 >= mid.0 { r.armed } else { armed_hi },
+            armed: if r.armed.0 >= mid.0 {
+                r.armed
+            } else {
+                armed_hi
+            },
             touched: false,
         };
         self.regions[idx] = lo;

@@ -37,10 +37,7 @@ pub struct ScanStats {
 ///
 /// The per-entry CPU cost is charged to the caller's cost sink, which is the
 /// scalability wall of this mechanism for large memory.
-pub fn scan_and_clear(
-    ops: &mut PolicyOps<'_>,
-    mut f: impl FnMut(ScanRecord),
-) -> ScanStats {
+pub fn scan_and_clear(ops: &mut PolicyOps<'_>, mut f: impl FnMut(ScanRecord)) -> ScanStats {
     let mut stats = ScanStats::default();
     ops.scan_entries(|vpage, entry| {
         let rec = match entry {

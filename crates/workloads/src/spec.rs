@@ -365,7 +365,9 @@ impl SpecStream {
         } else {
             let total = self.ops.last().map(|o| o.cum_weight).unwrap_or(1.0);
             let u: f64 = self.rng.gen::<f64>() * total;
-            self.ops.partition_point(|o| o.cum_weight < u).min(self.ops.len() - 1)
+            self.ops
+                .partition_point(|o| o.cum_weight < u)
+                .min(self.ops.len() - 1)
         };
         let op = &p.ops[op_idx];
         let region = &self.spec.regions[op.region];
@@ -567,7 +569,11 @@ mod tests {
         for s in 0..16 {
             huge_pages.insert(r.subpage_of_slot(s) / 512);
         }
-        assert!(huge_pages.len() >= 6, "only {} huge pages", huge_pages.len());
+        assert!(
+            huge_pages.len() >= 6,
+            "only {} huge pages",
+            huge_pages.len()
+        );
         // Dense placement puts them all in one.
         let d = RegionSpec::dense("y", 8 * HUGE_PAGE_SIZE, true);
         let dense_hps: std::collections::HashSet<u64> =

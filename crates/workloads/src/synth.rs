@@ -7,9 +7,7 @@
 //! studies ("how would MEMTIS behave on *my* access pattern?") and for
 //! stress-testing policies beyond the paper's workload set.
 
-use crate::spec::{
-    assign_addresses, OpMix, Pattern, PhaseSpec, RegionSpec, WorkloadSpec,
-};
+use crate::spec::{assign_addresses, OpMix, Pattern, PhaseSpec, RegionSpec, WorkloadSpec};
 use memtis_sim::prelude::HUGE_PAGE_SIZE;
 
 /// Builder for a single-region synthetic workload.
@@ -224,7 +222,7 @@ mod tests {
             }
         }
         // The builder's split may round down by a few accesses.
-        assert!(n >= 9_990 && n <= 10_000, "emitted {n}");
+        assert!((9_990..=10_000).contains(&n), "emitted {n}");
     }
 
     #[test]

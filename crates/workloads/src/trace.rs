@@ -47,11 +47,13 @@ impl<S: AccessStream> AccessStream for TraceRecorder<S> {
         self.events += 1;
         match ev {
             WorkloadEvent::Access(a) => {
-                self.buf.put_u8(if a.is_store() { TAG_STORE } else { TAG_LOAD });
+                self.buf
+                    .put_u8(if a.is_store() { TAG_STORE } else { TAG_LOAD });
                 self.buf.put_u64_le(a.vaddr.0);
             }
             WorkloadEvent::Alloc { addr, bytes, thp } => {
-                self.buf.put_u8(if thp { TAG_ALLOC } else { TAG_ALLOC_NOTHP });
+                self.buf
+                    .put_u8(if thp { TAG_ALLOC } else { TAG_ALLOC_NOTHP });
                 self.buf.put_u64_le(addr.0);
                 self.buf.put_u64_le(bytes);
             }

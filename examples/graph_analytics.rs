@@ -39,14 +39,32 @@ fn main() {
 
     let policies: Vec<(&str, Box<dyn TieringPolicy>)> = vec![
         ("All-NVM", Box::new(StaticPolicy::all_slow())),
-        ("AutoNUMA", Box::new(AutoNumaPolicy::new(AutoNumaConfig::default()))),
-        ("AutoTiering", Box::new(AutoTieringPolicy::new(AutoTieringConfig::default()))),
-        ("Tiering-0.8", Box::new(Tiering08Policy::new(Tiering08Config::default()))),
+        (
+            "AutoNUMA",
+            Box::new(AutoNumaPolicy::new(AutoNumaConfig::default())),
+        ),
+        (
+            "AutoTiering",
+            Box::new(AutoTieringPolicy::new(AutoTieringConfig::default())),
+        ),
+        (
+            "Tiering-0.8",
+            Box::new(Tiering08Policy::new(Tiering08Config::default())),
+        ),
         ("TPP", Box::new(TppPolicy::new(TppConfig::default()))),
-        ("Nimble", Box::new(NimblePolicy::new(NimbleConfig::default()))),
+        (
+            "Nimble",
+            Box::new(NimblePolicy::new(NimbleConfig::default())),
+        ),
         ("HeMem", Box::new(HememPolicy::new(HememConfig::default()))),
-        ("MULTI-CLOCK", Box::new(MultiClockPolicy::new(MultiClockConfig::default()))),
-        ("MEMTIS", Box::new(MemtisPolicy::new(MemtisConfig::sim_scaled()))),
+        (
+            "MULTI-CLOCK",
+            Box::new(MultiClockPolicy::new(MultiClockConfig::default())),
+        ),
+        (
+            "MEMTIS",
+            Box::new(MemtisPolicy::new(MemtisConfig::sim_scaled())),
+        ),
     ];
 
     let mut results: Vec<(String, f64, f64, u64)> = Vec::new();
@@ -64,9 +82,15 @@ fn main() {
         ));
     }
     results.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("{:<14} {:>10} {:>14} {:>16}", "policy", "normalized", "fast-hit %", "migrated 4K pages");
+    println!(
+        "{:<14} {:>10} {:>14} {:>16}",
+        "policy", "normalized", "fast-hit %", "migrated 4K pages"
+    );
     for (name, norm, hr, traffic) in results {
-        println!("{name:<14} {norm:>10.3} {:>13.1}% {traffic:>16}", hr * 100.0);
+        println!(
+            "{name:<14} {norm:>10.3} {:>13.1}% {traffic:>16}",
+            hr * 100.0
+        );
     }
     println!("\n(normalized to all-NVM with THP, as in the paper's figures)");
 }

@@ -42,7 +42,9 @@ fn main() {
         if meta.size != PageSize::Huge {
             continue;
         }
-        let Some(sub) = meta.sub.as_ref() else { continue };
+        let Some(sub) = meta.sub.as_ref() else {
+            continue;
+        };
         huge_pages += 1;
         let touched = sub.counts.iter().filter(|&&c| c > 0).count() as u64;
         util_hist[(touched / 64).min(8) as usize] += 1;
@@ -53,7 +55,10 @@ fn main() {
         }
     }
 
-    println!("{}: huge-page utilization audit ({huge_pages} huge pages)\n", bench.name());
+    println!(
+        "{}: huge-page utilization audit ({huge_pages} huge pages)\n",
+        bench.name()
+    );
     println!("{:>16} {:>8}  ", "subpages used", "pages");
     for (i, &n) in util_hist.iter().enumerate() {
         let label = if i == 8 {

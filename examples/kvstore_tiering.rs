@@ -32,7 +32,11 @@ fn main() {
     };
     let rt = Runtime::start(machine, memtis, Duration::from_millis(1));
 
-    println!("populating {} records ({} MiB)...", RECORDS, STORE_BYTES >> 20);
+    println!(
+        "populating {} records ({} MiB)...",
+        RECORDS,
+        STORE_BYTES >> 20
+    );
     rt.alloc_region(0, STORE_BYTES, true).expect("alloc");
     for r in 0..RECORDS {
         rt.access(Access::store(r * 4096)).expect("populate");

@@ -75,10 +75,7 @@ fn main() {
     println!("quickstart: 256 MiB Zipf(0.9) working set, 64 MiB DRAM + 1 GiB NVM\n");
     let nvm = run(StaticPolicy::all_slow(), "all-NVM (baseline)");
     let first_touch = run(NoopPolicy, "first-touch");
-    let memtis = run(
-        MemtisPolicy::new(MemtisConfig::sim_scaled()),
-        "MEMTIS",
-    );
+    let memtis = run(MemtisPolicy::new(MemtisConfig::sim_scaled()), "MEMTIS");
     println!(
         "\nMEMTIS speedup: {:.2}x over all-NVM, {:.2}x over first-touch",
         nvm / memtis,

@@ -32,9 +32,9 @@ impl CascadePolicy {
 
     fn target_tier(count: u32) -> TierId {
         match count {
-            0..=1 => TierId(2),  // NVM
-            2..=7 => TierId(1),  // CXL
-            _ => TierId(0),      // DRAM
+            0..=1 => TierId(2), // NVM
+            2..=7 => TierId(1), // CXL
+            _ => TierId(0),     // DRAM
         }
     }
 }
@@ -62,7 +62,13 @@ impl TieringPolicy for CascadePolicy {
         TierId(2)
     }
 
-    fn on_alloc(&mut self, _ops: &mut PolicyOps<'_>, vpage: VirtPage, size: PageSize, _tier: TierId) {
+    fn on_alloc(
+        &mut self,
+        _ops: &mut PolicyOps<'_>,
+        vpage: VirtPage,
+        size: PageSize,
+        _tier: TierId,
+    ) {
         self.counts.insert(vpage, (size, 0));
     }
 
@@ -86,20 +92,19 @@ impl TieringPolicy for CascadePolicy {
         self.ticks += 1;
         // Every few wakeups: move each page one step toward its band and
         // decay counts (a crude EMA).
-        if self.ticks % 8 != 0 {
+        if !self.ticks.is_multiple_of(8) {
             return;
         }
-        let entries: Vec<(VirtPage, PageSize, u32)> = self
-            .counts
-            .iter()
-            .map(|(&v, &(s, c))| (v, s, c))
-            .collect();
+        let entries: Vec<(VirtPage, PageSize, u32)> =
+            self.counts.iter().map(|(&v, &(s, c))| (v, s, c)).collect();
         let mut budget: u64 = 8 << 20;
         for (vpage, size, count) in entries {
             if budget < size.bytes() {
                 break;
             }
-            let Some((cur, s)) = ops.locate(vpage) else { continue };
+            let Some((cur, s)) = ops.locate(vpage) else {
+                continue;
+            };
             if s != size {
                 continue;
             }

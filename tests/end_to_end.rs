@@ -80,13 +80,21 @@ fn runs_are_deterministic() {
     let a = run(Benchmark::Silo, 8, MemtisPolicy::new(memtis_cfg()), 100_000);
     let b = run(Benchmark::Silo, 8, MemtisPolicy::new(memtis_cfg()), 100_000);
     assert_eq!(a.wall_ns, b.wall_ns);
-    assert_eq!(a.stats.migration.traffic_4k(), b.stats.migration.traffic_4k());
+    assert_eq!(
+        a.stats.migration.traffic_4k(),
+        b.stats.migration.traffic_4k()
+    );
     assert_eq!(a.accesses, b.accesses);
 }
 
 #[test]
 fn memtis_never_slows_the_critical_path() {
-    let r = run(Benchmark::Btree, 8, MemtisPolicy::new(memtis_cfg()), 150_000);
+    let r = run(
+        Benchmark::Btree,
+        8,
+        MemtisPolicy::new(memtis_cfg()),
+        150_000,
+    );
     // MEMTIS performs no policy work in fault context; the only app-side
     // extra costs are the driver's own unmap/demand-fault bookkeeping.
     assert!(r.daemon_ns > 0.0, "daemons did work");
@@ -100,7 +108,12 @@ fn memtis_never_slows_the_critical_path() {
 
 #[test]
 fn fast_tier_capacity_is_respected() {
-    let r = run(Benchmark::Graph500, 8, MemtisPolicy::new(memtis_cfg()), 150_000);
+    let r = run(
+        Benchmark::Graph500,
+        8,
+        MemtisPolicy::new(memtis_cfg()),
+        150_000,
+    );
     let fast_cap = machine_for(Benchmark::Graph500, 8).tiers[0].capacity;
     for snap in &r.timeline {
         assert!(snap.fast_used_bytes <= fast_cap);

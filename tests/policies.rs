@@ -45,14 +45,32 @@ fn every_policy_survives_every_benchmark() {
     // Smoke matrix: no panics, no OOM, sane accounting, on a fast subset.
     for bench in [Benchmark::Silo, Benchmark::Bwaves, Benchmark::Roms] {
         let policies: Vec<(&str, Box<dyn TieringPolicy>)> = vec![
-            ("autonuma", Box::new(AutoNumaPolicy::new(AutoNumaConfig::default()))),
-            ("autotiering", Box::new(AutoTieringPolicy::new(AutoTieringConfig::default()))),
-            ("tiering08", Box::new(Tiering08Policy::new(Tiering08Config::default()))),
+            (
+                "autonuma",
+                Box::new(AutoNumaPolicy::new(AutoNumaConfig::default())),
+            ),
+            (
+                "autotiering",
+                Box::new(AutoTieringPolicy::new(AutoTieringConfig::default())),
+            ),
+            (
+                "tiering08",
+                Box::new(Tiering08Policy::new(Tiering08Config::default())),
+            ),
             ("tpp", Box::new(TppPolicy::new(TppConfig::default()))),
-            ("nimble", Box::new(NimblePolicy::new(NimbleConfig::default()))),
+            (
+                "nimble",
+                Box::new(NimblePolicy::new(NimbleConfig::default())),
+            ),
             ("hemem", Box::new(HememPolicy::new(HememConfig::default()))),
-            ("multiclock", Box::new(MultiClockPolicy::new(MultiClockConfig::default()))),
-            ("memtis", Box::new(MemtisPolicy::new(MemtisConfig::sim_scaled()))),
+            (
+                "multiclock",
+                Box::new(MultiClockPolicy::new(MultiClockConfig::default())),
+            ),
+            (
+                "memtis",
+                Box::new(MemtisPolicy::new(MemtisConfig::sim_scaled())),
+            ),
         ];
         for (name, p) in policies {
             let (r, _sim) = run_policy(bench, 8, p, 60_000);
@@ -97,14 +115,8 @@ fn fault_based_policies_pay_on_the_critical_path() {
         tpp.app_extra_ns > 0.0,
         "TPP promotes inside the fault handler"
     );
-    assert_eq!(
-        memtis.stats.hint_faults, 0,
-        "MEMTIS never arms hint faults"
-    );
-    assert!(
-        memtis.daemon_ns > 0.0,
-        "MEMTIS works in background daemons"
-    );
+    assert_eq!(memtis.stats.hint_faults, 0, "MEMTIS never arms hint faults");
+    assert!(memtis.daemon_ns > 0.0, "MEMTIS works in background daemons");
 }
 
 #[test]
@@ -119,12 +131,7 @@ fn memtis_splits_skewed_workload_but_not_dense_one() {
         ..MemtisConfig::sim_scaled()
     };
     let (_r, silo) = run_policy(Benchmark::Silo, 8, MemtisPolicy::new(cfg.clone()), 400_000);
-    let (_r2, dense) = run_policy(
-        Benchmark::Graph500,
-        8,
-        MemtisPolicy::new(cfg),
-        400_000,
-    );
+    let (_r2, dense) = run_policy(Benchmark::Graph500, 8, MemtisPolicy::new(cfg), 400_000);
     let silo_splits = silo.policy().stats.splits;
     let dense_splits = dense.policy().stats.splits;
     assert!(silo_splits > 0, "Silo's scattered records should be split");
@@ -229,7 +236,10 @@ fn trace_replay_reproduces_run_exactly() {
     );
     let r2 = sim2.run(&mut replay).unwrap();
     assert_eq!(r1.wall_ns, r2.wall_ns);
-    assert_eq!(r1.stats.migration.traffic_4k(), r2.stats.migration.traffic_4k());
+    assert_eq!(
+        r1.stats.migration.traffic_4k(),
+        r2.stats.migration.traffic_4k()
+    );
     assert_eq!(r1.tlb.misses, r2.tlb.misses);
 }
 

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice it uses: [`BytesMut`] as an append-only builder
+//! ([`BufMut::put_u8`] / [`BufMut::put_u64_le`], `freeze`) and [`Bytes`] as
+//! a cheaply-cloneable read cursor ([`Buf::get_u8`] / [`Buf::get_u64_le`] /
+//! [`Buf::has_remaining`]). Reading from a `Bytes` advances an internal
+//! cursor, matching how the `Buf` trait is consumed in this workspace.
+
+use std::sync::Arc;
+
+/// Read side: consuming bytes advances the cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// True while at least one byte is left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+/// Write side: appending bytes grows the buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Growable byte buffer; freeze it into [`Bytes`] when done writing.
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable, cheaply-cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.buf.into_boxed_slice()),
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+/// Immutable shared byte buffer with a read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Total length of the underlying buffer (independent of the cursor).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The unread portion as a slice.
+    pub fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            pos: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 past end of buffer");
+        let v = self.data[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "get_u64_le past end of buffer");
+        let mut le = [0u8; 8];
+        le.copy_from_slice(&self.data[self.pos..self.pos + 8]);
+        self.pos += 8;
+        u64::from_le_bytes(le)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u64_le(0xDEAD_BEEF_0BAD_F00D);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 12);
+        let mut r = b.freeze();
+        assert_eq!(r.len(), 12);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.get_u8(), 1);
+        assert!(r.has_remaining());
+    }
+
+    #[test]
+    fn clones_read_independently() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(42);
+        let mut a = b.freeze();
+        let mut c = a.clone();
+        assert_eq!(a.get_u64_le(), 42);
+        assert!(!a.has_remaining());
+        assert_eq!(c.get_u64_le(), 42);
+    }
+}

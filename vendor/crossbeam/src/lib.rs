@@ -1,0 +1,278 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice it uses: [`channel::bounded`] MPMC channels with
+//! [`channel::Sender::try_send`], [`channel::Receiver::recv_timeout`], and
+//! [`channel::Receiver::is_empty`]. The implementation is a
+//! `Mutex<VecDeque>` + `Condvar`: slower than crossbeam's lock-free queues
+//! but semantically equivalent for the daemon workloads here.
+
+pub mod channel {
+    //! Bounded MPMC channels.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: usize,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::try_send`], carrying back the message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel was at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send`], carrying back the message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived in time.
+        Timeout,
+        /// All senders are gone and the channel is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders are gone and the channel is drained.
+        Disconnected,
+    }
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a bounded MPMC channel with room for `capacity` messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends without blocking; fails if full or disconnected.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= self.inner.capacity {
+                return Err(TrySendError::Full(msg));
+            }
+            q.push_back(msg);
+            drop(q);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Blocking send; fails only when all receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(msg));
+                }
+                if q.len() < self.inner.capacity {
+                    q.push_back(msg);
+                    drop(q);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                let (guard, _) = self
+                    .inner
+                    .not_full
+                    .wait_timeout(q, std::time::Duration::from_millis(10))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, waiting up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    drop(q);
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(msg) = q.pop_front() {
+                drop(q);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// True when no messages are queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+
+        /// Number of messages queued right now.
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn try_send_respects_capacity() {
+            let (tx, rx) = bounded::<u32>(2);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Ok(()));
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_when_empty() {
+            let (_tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(rx.is_empty());
+        }
+
+        #[test]
+        fn disconnect_is_observed() {
+            let (tx, rx) = bounded::<u32>(4);
+            tx.try_send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+            let (tx2, rx2) = bounded::<u32>(4);
+            drop(rx2);
+            assert_eq!(tx2.try_send(1), Err(TrySendError::Disconnected(1)));
+        }
+
+        #[test]
+        fn crosses_threads() {
+            let (tx, rx) = bounded::<u64>(16);
+            let producer = std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while got.len() < 100 {
+                if let Ok(v) = rx.recv_timeout(Duration::from_millis(100)) {
+                    got.push(v);
+                }
+            }
+            producer.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

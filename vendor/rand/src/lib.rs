@@ -1,0 +1,241 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors the
+//! narrow API slice it actually uses: [`Rng::gen`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], and a deterministic
+//! [`rngs::StdRng`] (xoshiro256++ seeded through SplitMix64). Streams are
+//! stable across runs and platforms — which is all the simulator requires —
+//! but do **not** match upstream `rand`'s `StdRng` byte-for-byte.
+
+/// Sampling from the "standard" distribution, i.e. what `rng.gen::<T>()`
+/// returns: uniform over the full domain for integers, uniform in `[0, 1)`
+/// for floats, and a fair coin for `bool`.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait UniformInt: Copy {
+    /// Uniform draw from `[lo, hi)`. `hi` must be strictly greater than `lo`.
+    fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = hi.wrapping_sub(lo) as u64;
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+impl UniformInt for f64 {
+    #[inline]
+    fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + f64::sample_standard(rng) * (hi - lo)
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value from the standard distribution (see [`Standard`]).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from a half-open range.
+    #[inline]
+    fn gen_range<T: UniformInt>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::uniform(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (the stand-in for `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+}
