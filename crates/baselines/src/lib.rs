@@ -15,6 +15,17 @@
 //! | [`HememPolicy`] | PEBS (static period) | static count | static count | none |
 //! | [`MultiClockPolicy`] | PT scan + 2Q | 2nd scan | inactive LRU | none |
 //! | [`TmtsPolicy`] | PT scan + HW sampling | 1 sample / 2 scans | adaptive idle age | none |
+//!
+//! ## Observability
+//!
+//! Every baseline routes its migrations, splits, and collapses through
+//! [`PolicyOps`](memtis_sim::prelude::PolicyOps), which emits the shared
+//! trace events (`Promotion`, `Demotion`, `TlbShootdown`, `MigrationFailed`,
+//! …) whenever an observer is attached to the simulation. None of the
+//! baselines needs policy-specific instrumentation: the default
+//! `TieringPolicy` surface (empty `timeline`/`histogram_bins`) plus the
+//! `PolicyOps` emission points give them the full event stream and windowed
+//! telemetry for free.
 
 pub mod autonuma;
 pub mod autotiering;

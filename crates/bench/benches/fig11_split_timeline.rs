@@ -42,7 +42,8 @@ fn main() {
         let ns_r = run_system(bench, scale, ratio, CapacityKind::Nvm, System::MemtisNs);
         let t08_r = run_system(bench, scale, ratio, CapacityKind::Nvm, System::Tiering08);
 
-        // Throughput-over-time CSV (the paper's line chart).
+        // Throughput-over-time CSV (the paper's line chart), from the
+        // shared telemetry window collector.
         let mut csv = Table::new(vec![
             "time_ns",
             "memtis_mps",
@@ -51,27 +52,20 @@ fn main() {
             "memtis_splits",
         ]);
         let series = |r: &memtis_sim::driver::RunReport, i: usize| {
-            r.timeline.get(i).map(|s| s.window_throughput / 1e6)
+            r.windows.get(i).map(|w| w.window_throughput / 1e6)
         };
-        let splits_at = |i: usize| {
-            memtis_r.timeline.get(i).and_then(|s| {
-                s.policy
-                    .iter()
-                    .find(|(n, _)| *n == "splits")
-                    .map(|(_, v)| *v)
-            })
-        };
+        let splits_at = |i: usize| memtis_r.windows.get(i).and_then(|w| w.gauge("splits"));
         let len = memtis_r
-            .timeline
+            .windows
             .len()
-            .max(ns_r.timeline.len())
-            .max(t08_r.timeline.len());
+            .max(ns_r.windows.len())
+            .max(t08_r.windows.len());
         for i in 0..len {
             csv.row(vec![
                 memtis_r
-                    .timeline
+                    .windows
                     .get(i)
-                    .map(|s| format!("{:.0}", s.wall_ns))
+                    .map(|w| format!("{:.0}", w.wall_ns))
                     .unwrap_or_default(),
                 series(&memtis_r, i)
                     .map(|v| format!("{v:.2}"))

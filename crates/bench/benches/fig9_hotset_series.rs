@@ -5,6 +5,10 @@
 //! in the paper): MEMTIS sizes its hot threshold from the access
 //! distribution so the hot set approximates the fast tier from below, with
 //! the warm band filling the remainder.
+//!
+//! The series comes from the shared telemetry window collector
+//! (`RunReport::windows`): each window carries the policy's
+//! `hot_bytes`/`warm_bytes`/`cold_bytes` gauges at the window close.
 
 use memtis_bench::{driver_config, machine_for, run_sim, CapacityKind, Ratio, Table};
 use memtis_core::{MemtisConfig, MemtisPolicy};
@@ -49,18 +53,12 @@ fn main() {
             );
             let mb = |b: f64| b / (1 << 20) as f64;
             let series: Vec<(f64, f64, f64, f64)> = report
-                .timeline
+                .windows
                 .iter()
-                .map(|s| {
-                    let get = |k: &str| {
-                        s.policy
-                            .iter()
-                            .find(|(n, _)| *n == k)
-                            .map(|(_, v)| *v)
-                            .unwrap_or(0.0)
-                    };
+                .map(|w| {
+                    let get = |k: &str| w.gauge(k).unwrap_or(0.0);
                     (
-                        s.wall_ns,
+                        w.wall_ns,
                         get("hot_bytes"),
                         get("warm_bytes"),
                         get("cold_bytes"),

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! memtis run  <benchmark> [--ratio 1:8] [--policy memtis] [--cxl] [--accesses N]
+//!             [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
 //! memtis compare <benchmark> [--ratio 1:8] [--cxl] [--accesses N]
 //! memtis list
 //! ```
@@ -9,7 +10,11 @@
 //! `run` executes one cell and prints the detailed report; `compare` runs
 //! every system on one benchmark; `list` shows benchmarks and policies.
 
-use memtis_bench::{normalized, run_baseline, run_system, CapacityKind, Ratio, System, Table};
+use memtis_bench::{
+    access_budget, driver_config_with_window, machine_for, normalized, run_baseline,
+    run_cell_traced, run_system, write_trace, CapacityKind, Ratio, System, Table, TraceFormat,
+    DEFAULT_WINDOW_EVENTS, SEED,
+};
 use memtis_workloads::{Benchmark, Scale};
 
 fn parse_ratio(s: &str) -> Option<Ratio> {
@@ -50,6 +55,9 @@ struct Opts {
     ratio: Ratio,
     kind: CapacityKind,
     policy: System,
+    trace_out: Option<String>,
+    trace_format: TraceFormat,
+    window: u64,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -60,6 +68,9 @@ fn parse_opts(args: &[String]) -> Opts {
         },
         kind: CapacityKind::Nvm,
         policy: System::Memtis,
+        trace_out: None,
+        trace_format: TraceFormat::Jsonl,
+        window: DEFAULT_WINDOW_EVENTS,
     };
     let mut i = 0;
     while i < args.len() {
@@ -86,6 +97,26 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
                 i += 2;
             }
+            "--trace-out" => {
+                o.trace_out = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--trace-format" => {
+                match args.get(i + 1).and_then(|s| TraceFormat::parse(s)) {
+                    Some(f) => o.trace_format = f,
+                    None => {
+                        eprintln!("error: --trace-format must be jsonl or perfetto");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--window" => {
+                if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    o.window = n;
+                }
+                i += 2;
+            }
             _ => i += 1,
         }
     }
@@ -94,7 +125,8 @@ fn parse_opts(args: &[String]) -> Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  memtis run <benchmark> [--ratio F:C] [--policy NAME] [--cxl] [--accesses N]\n  \
+        "usage:\n  memtis run <benchmark> [--ratio F:C] [--policy NAME] [--cxl] [--accesses N]\n    \
+         [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]\n  \
          memtis compare <benchmark> [--ratio F:C] [--cxl] [--accesses N]\n  memtis list"
     );
     std::process::exit(2);
@@ -133,7 +165,23 @@ fn main() {
             };
             let o = parse_opts(&args[2..]);
             let base = run_baseline(bench, Scale::DEFAULT, o.kind);
-            let r = run_system(bench, Scale::DEFAULT, o.ratio, o.kind, o.policy);
+            let r = match &o.trace_out {
+                Some(path) => {
+                    let machine = machine_for(bench, Scale::DEFAULT, o.ratio, o.kind);
+                    let (r, obs) = run_cell_traced(
+                        bench,
+                        Scale::DEFAULT,
+                        machine,
+                        o.policy.build(),
+                        driver_config_with_window(o.window),
+                        access_budget(),
+                        SEED,
+                    );
+                    write_trace(path, o.trace_format, &obs, &r.windows);
+                    r
+                }
+                None => run_system(bench, Scale::DEFAULT, o.ratio, o.kind, o.policy),
+            };
             println!(
                 "{} on {} at {} ({}):",
                 o.policy.name(),

@@ -1,18 +1,26 @@
 //! Diagnostic probe: run one (benchmark, ratio, system) cell and dump the
-//! detailed report. Usage: `probe <benchmark> <ratio> <system>`.
+//! detailed report.
+//!
+//! ```text
+//! probe [<benchmark>] [<ratio>] [<system>|all] [--test-scale]
+//!       [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
+//! ```
+//!
+//! With `--trace-out`, the first selected system's run is re-executed under
+//! a tracing observer and the event/window trace is written to PATH.
 
-use memtis_bench::{run_baseline, run_system, CapacityKind, Ratio, System};
+use memtis_bench::{
+    access_budget, driver_config_with_window, machine_for, run_baseline, run_cell_traced,
+    run_system, write_trace, CapacityKind, Ratio, System, TraceFormat, DEFAULT_WINDOW_EVENTS, SEED,
+};
 use memtis_workloads::{Benchmark, Scale};
 
-fn probe_memtis(bench: Benchmark, ratio: Ratio) {
+fn probe_memtis(bench: Benchmark, ratio: Ratio, scale: Scale) {
     use memtis_core::{MemtisConfig, MemtisPolicy};
     use memtis_sim::prelude::Simulation;
     use memtis_workloads::SpecStream;
-    let machine = memtis_bench::machine_for(bench, Scale::DEFAULT, ratio, CapacityKind::Nvm);
-    let mut wl = SpecStream::new(
-        bench.spec(Scale::DEFAULT, memtis_bench::access_budget()),
-        memtis_bench::SEED,
-    );
+    let machine = memtis_bench::machine_for(bench, scale, ratio, CapacityKind::Nvm);
+    let mut wl = SpecStream::new(bench.spec(scale, memtis_bench::access_budget()), SEED);
     let mut sim = Simulation::new(
         machine,
         MemtisPolicy::new(MemtisConfig::sim_scaled()),
@@ -48,12 +56,51 @@ fn probe_memtis(bench: Benchmark, ratio: Ratio) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut trace_format = TraceFormat::Jsonl;
+    let mut window = DEFAULT_WINDOW_EVENTS;
+    let mut scale = Scale::DEFAULT;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace-out" => {
+                trace_out = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--trace-format" => {
+                trace_format = match args.get(i + 1).and_then(|s| TraceFormat::parse(s)) {
+                    Some(f) => f,
+                    None => {
+                        eprintln!("error: --trace-format must be jsonl or perfetto");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--window" => {
+                window = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(DEFAULT_WINDOW_EVENTS);
+                i += 2;
+            }
+            "--test-scale" => {
+                scale = Scale::TEST;
+                i += 1;
+            }
+            other => {
+                positional.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
     let bench = Benchmark::ALL
         .into_iter()
-        .find(|b| Some(b.name().to_lowercase()) == args.get(1).map(|s| s.to_lowercase()))
+        .find(|b| Some(b.name().to_lowercase()) == positional.first().map(|s| s.to_lowercase()))
         .unwrap_or(Benchmark::PageRank);
-    let ratio = match args.get(2).map(String::as_str) {
+    let ratio = match positional.get(1).map(String::as_str) {
         Some("1:2") => Ratio {
             fast: 1,
             capacity: 2,
@@ -68,22 +115,22 @@ fn main() {
             capacity: 8,
         },
     };
-    let systems: Vec<System> = match args.get(3).map(String::as_str) {
+    let systems: Vec<System> = match positional.get(2).map(String::as_str) {
         Some("all") | None => System::FIG5.to_vec(),
         Some(name) => System::FIG5
             .into_iter()
             .filter(|s| s.name().eq_ignore_ascii_case(name))
             .collect(),
     };
-    let base = run_baseline(bench, Scale::DEFAULT, CapacityKind::Nvm);
+    let base = run_baseline(bench, scale, CapacityKind::Nvm);
     println!(
         "baseline all-NVM: wall={:.2}ms thpt={:.1}M/s llc_miss={:.3}",
         base.wall_ns / 1e6,
         base.throughput() / 1e6,
         base.llc.miss_ratio()
     );
-    for sys in systems {
-        let r = run_system(bench, Scale::DEFAULT, ratio, CapacityKind::Nvm, sys);
+    for &sys in &systems {
+        let r = run_system(bench, scale, ratio, CapacityKind::Nvm, sys);
         println!(
             "{:<12} norm={:.3} wall={:.2}ms app_extra={:.2}ms daemon={:.2}ms dcores={:.2} \
              fastHR={:.3} promo4k={} demo4k={} splits={} shootdowns={} hintfaults={} rss={}MB \
@@ -106,7 +153,22 @@ fn main() {
             r.app_access_ns / r.accesses as f64,
         );
         if sys == System::Memtis {
-            probe_memtis(bench, ratio);
+            probe_memtis(bench, ratio, scale);
         }
+    }
+
+    if let Some(path) = trace_out {
+        let sys = systems.first().copied().unwrap_or(System::Memtis);
+        let machine = machine_for(bench, scale, ratio, CapacityKind::Nvm);
+        let (report, obs) = run_cell_traced(
+            bench,
+            scale,
+            machine,
+            sys.build(),
+            driver_config_with_window(window),
+            access_budget(),
+            SEED,
+        );
+        write_trace(&path, trace_format, &obs, &report.windows);
     }
 }

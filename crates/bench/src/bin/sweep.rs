@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sweep [--jobs N] [--systems memtis,tpp,...] [--benches roms,btree,...]
-//!       [--ratios 1:8,1:16] [--seeds K] [--accesses N] [--cxl] [--test-scale]
+//!       [--ratios 1:8,1:16] [--seeds K] [--accesses N] [--window EVENTS]
+//!       [--cxl] [--test-scale]
 //! ```
 //!
 //! Runs the (policy × workload × ratio × seed) matrix across worker
@@ -12,7 +13,7 @@
 //! benchmarks at 1:8, one seed, `--jobs` = available cores.
 
 use memtis_bench::sweep::{emit_sweep, matrix, run_sweep, SweepConfig};
-use memtis_bench::{access_budget, CapacityKind, Ratio, System};
+use memtis_bench::{access_budget, CapacityKind, Ratio, System, DEFAULT_WINDOW_EVENTS};
 use memtis_workloads::{Benchmark, Scale};
 
 fn parse_ratio(s: &str) -> Option<Ratio> {
@@ -65,7 +66,8 @@ fn parse_list<T>(arg: &str, what: &str, f: impl Fn(&str) -> Option<T>) -> Vec<T>
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--jobs N] [--systems a,b,..] [--benches x,y,..] \
-         [--ratios F:C,..] [--seeds K] [--accesses N] [--cxl] [--test-scale]"
+         [--ratios F:C,..] [--seeds K] [--accesses N] [--window EVENTS] \
+         [--cxl] [--test-scale]"
     );
     std::process::exit(2);
 }
@@ -84,6 +86,7 @@ fn main() {
     let mut kind = CapacityKind::Nvm;
     let mut scale = Scale::DEFAULT;
     let mut accesses = access_budget();
+    let mut window_events = DEFAULT_WINDOW_EVENTS;
 
     let mut i = 0;
     while i < args.len() {
@@ -118,6 +121,10 @@ fn main() {
                 accesses = value(i + 1).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--window" => {
+                window_events = value(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             "--cxl" => {
                 kind = CapacityKind::Cxl;
                 i += 1;
@@ -149,6 +156,7 @@ fn main() {
         jobs,
         scale,
         accesses,
+        window_events,
     };
     let result = run_sweep(&cells, &cfg);
     emit_sweep("sweep", &result);

@@ -110,13 +110,22 @@ pub fn machine_all_fast(bench: Benchmark, scale: Scale) -> MachineConfig {
         .with_bandwidth_scale(TIME_COMPRESSION)
 }
 
+/// Default telemetry window length (workload events) for experiments.
+pub const DEFAULT_WINDOW_EVENTS: u64 = 100_000;
+
 /// Driver defaults for experiments at the default scale.
 pub fn driver_config() -> DriverConfig {
+    driver_config_with_window(DEFAULT_WINDOW_EVENTS)
+}
+
+/// Driver defaults with an explicit telemetry window length.
+pub fn driver_config_with_window(window_events: u64) -> DriverConfig {
     DriverConfig {
         thp_enabled: true,
         tick_interval_ns: 20_000.0,
         timeline_interval_ns: 150_000.0,
         max_accesses: None,
+        window_events,
     }
 }
 
@@ -249,6 +258,86 @@ pub fn run_cell_seeded(
     let mut wl = SpecStream::new(bench.spec(scale, accesses), seed);
     let mut sim = Simulation::new(machine, policy, driver);
     sim.run(&mut wl).expect("experiment run failed")
+}
+
+/// Runs one cell with a concrete policy under a [`TracingObserver`],
+/// returning the report and the observer (ring + registry) for export.
+pub fn run_sim_traced<P: TieringPolicy>(
+    bench: Benchmark,
+    scale: Scale,
+    machine: MachineConfig,
+    policy: P,
+    driver: DriverConfig,
+    accesses: u64,
+) -> (RunReport, TracingObserver) {
+    let mut wl = SpecStream::new(bench.spec(scale, accesses), SEED);
+    let mut sim = Simulation::with_observer(machine, policy, driver, TracingObserver::new());
+    let report = sim.run(&mut wl).expect("experiment run failed");
+    (report, sim.into_observer())
+}
+
+/// Runs one experiment cell with a boxed policy under a
+/// [`TracingObserver`], returning the report and the observer.
+pub fn run_cell_traced(
+    bench: Benchmark,
+    scale: Scale,
+    machine: MachineConfig,
+    policy: Box<dyn TieringPolicy>,
+    driver: DriverConfig,
+    accesses: u64,
+    seed: u64,
+) -> (RunReport, TracingObserver) {
+    let mut wl = SpecStream::new(bench.spec(scale, accesses), seed);
+    let mut sim = Simulation::with_observer(machine, policy, driver, TracingObserver::new());
+    let report = sim.run(&mut wl).expect("experiment run failed");
+    (report, sim.into_observer())
+}
+
+/// Trace export format selected by `--trace-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line: header, events, windows.
+    Jsonl,
+    /// Chrome/Perfetto `trace_event` JSON (load in `ui.perfetto.dev`).
+    Perfetto,
+}
+
+impl TraceFormat {
+    /// Parses a `--trace-format` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "jsonl" => Some(TraceFormat::Jsonl),
+            "perfetto" => Some(TraceFormat::Perfetto),
+            _ => None,
+        }
+    }
+
+    /// Serializes a finished trace in this format.
+    pub fn export(&self, obs: &TracingObserver, windows: &[WindowSample]) -> String {
+        match self {
+            TraceFormat::Jsonl => memtis_sim::obs::export_jsonl(obs, windows),
+            TraceFormat::Perfetto => memtis_sim::obs::export_perfetto(obs, windows),
+        }
+    }
+}
+
+/// Writes a finished trace to `path` in the given format.
+pub fn write_trace(
+    path: &str,
+    format: TraceFormat,
+    obs: &TracingObserver,
+    windows: &[WindowSample],
+) {
+    let body = format.export(obs, windows);
+    match std::fs::write(path, body) {
+        Ok(()) => println!(
+            "[trace written to {path}: {} events ({} dropped), {} windows]",
+            obs.ring.pushed(),
+            obs.ring.dropped(),
+            windows.len()
+        ),
+        Err(e) => eprintln!("warning: could not write trace {path}: {e}"),
+    }
 }
 
 /// Runs `system` on `bench` at the given ratio and returns the report.

@@ -12,10 +12,13 @@ pub mod report;
 pub mod sweep;
 
 pub use harness::{
-    access_budget, driver_config, geomean, machine_all_fast, machine_for, normalized, run_baseline,
-    run_cell, run_cell_seeded, run_sim, run_system, CapacityKind, Ratio, System, SEED,
-    TIME_COMPRESSION,
+    access_budget, driver_config, driver_config_with_window, geomean, machine_all_fast,
+    machine_for, normalized, run_baseline, run_cell, run_cell_seeded, run_cell_traced, run_sim,
+    run_sim_traced, run_system, write_trace, CapacityKind, Ratio, System, TraceFormat,
+    DEFAULT_WINDOW_EVENTS, SEED, TIME_COMPRESSION,
 };
 pub use plot::{bar, sparkline};
 pub use report::{emit, emit_bench_json, experiments_dir, Table};
-pub use sweep::{emit_sweep, matrix, run_sweep, SweepCell, SweepConfig, SweepResult};
+pub use sweep::{
+    emit_sweep, matrix, run_sweep, windows_table, SweepCell, SweepConfig, SweepResult,
+};

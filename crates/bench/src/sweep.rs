@@ -17,7 +17,8 @@
 //! scaling efficiency) via [`emit_bench_json`].
 
 use crate::harness::{
-    driver_config, machine_for, run_cell_seeded, CapacityKind, Ratio, System, SEED,
+    driver_config_with_window, machine_for, run_cell_seeded, CapacityKind, Ratio, System,
+    DEFAULT_WINDOW_EVENTS, SEED,
 };
 use crate::report::{emit, emit_bench_json, Table};
 use memtis_sim::prelude::RunReport;
@@ -111,6 +112,21 @@ pub struct SweepConfig {
     pub scale: Scale,
     /// Access budget per cell.
     pub accesses: u64,
+    /// Telemetry window length in workload events.
+    pub window_events: u64,
+}
+
+impl SweepConfig {
+    /// Defaults: one job, default scale, the harness access budget, and the
+    /// default telemetry window.
+    pub fn new(jobs: usize, scale: Scale, accesses: u64) -> Self {
+        SweepConfig {
+            jobs,
+            scale,
+            accesses,
+            window_events: DEFAULT_WINDOW_EVENTS,
+        }
+    }
 }
 
 /// One finished cell.
@@ -172,7 +188,7 @@ pub fn run_sweep_cell(cell: SweepCell, cfg: &SweepConfig) -> RunReport {
         cfg.scale,
         machine,
         cell.system.build(),
-        driver_config(),
+        driver_config_with_window(cfg.window_events),
         cfg.accesses,
         cell.seed(),
     )
@@ -244,11 +260,56 @@ pub fn sweep_table(result: &SweepResult) -> Table {
     t
 }
 
+/// Renders the per-cell telemetry window series: one row per (cell,
+/// window), carrying the shared collector's rHR/eHR, throughput, and
+/// migration-bandwidth samples into the merged report.
+pub fn windows_table(result: &SweepResult) -> Table {
+    let mut t = Table::new(vec![
+        "policy",
+        "workload",
+        "ratio",
+        "seed",
+        "window",
+        "wall_ms",
+        "Macc/s",
+        "fast-hit %",
+        "rhr",
+        "ehr",
+        "mig MB/s",
+    ]);
+    for c in &result.cells {
+        for w in &c.report.windows {
+            t.row(vec![
+                c.cell.system.name().to_string(),
+                c.cell.bench.name().to_string(),
+                c.cell.ratio.label(),
+                c.cell.seed_index.to_string(),
+                w.index.to_string(),
+                format!("{:.2}", w.wall_ns / 1e6),
+                format!("{:.2}", w.window_throughput / 1e6),
+                format!("{:.1}", w.fast_hit_ratio * 100.0),
+                format!("{:.4}", w.rhr),
+                format!("{:.4}", w.ehr),
+                format!("{:.2}", w.migration_bw / 1e6),
+            ]);
+        }
+    }
+    t
+}
+
 /// Emits the merged table (text + CSV) and the `BENCH_<name>.json` perf
 /// record, and prints the scaling summary.
 pub fn emit_sweep(name: &str, result: &SweepResult) {
     let table = sweep_table(result);
     emit(name, "parallel experiment sweep", &table);
+    let windows = windows_table(result);
+    if !windows.is_empty() {
+        emit(
+            &format!("{name}_windows"),
+            "per-cell telemetry window series",
+            &windows,
+        );
+    }
     let elapsed_s = result.host_elapsed_ns as f64 * 1e-9;
     println!(
         "sweep: {} cells, {} jobs, {:.2}s wall, speedup {:.2}x, efficiency {:.2}, {:.0} events/s",
@@ -285,6 +346,7 @@ mod tests {
             jobs,
             scale: Scale::TEST,
             accesses: 4_000,
+            window_events: 1_000,
         }
     }
 
@@ -342,7 +404,20 @@ mod tests {
                 format!("{:?}", a.report.stats),
                 format!("{:?}", b.report.stats)
             );
+            // The telemetry window series must also be scheduling-independent.
+            assert_eq!(a.report.windows, b.report.windows);
+            assert!(!a.report.windows.is_empty());
         }
+    }
+
+    #[test]
+    fn windows_table_has_a_row_per_window() {
+        let cells = tiny_matrix()[..1].to_vec();
+        let r = run_sweep(&cells, &tiny_cfg(1));
+        let expected: usize = r.cells.iter().map(|c| c.report.windows.len()).sum();
+        assert!(expected > 0);
+        let t = windows_table(&r);
+        assert_eq!(t.len(), expected);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Windowed-telemetry coverage: window boundaries are exact event
+//! multiples and bracket every cooling tick, and the rHR/eHR series carried
+//! by the windows agrees with the policy's own estimates (the numbers
+//! `fig12_hit_ratios` reports at end of run).
+
+use memtis_bench::{driver_config_with_window, machine_for, CapacityKind, Ratio, SEED};
+use memtis_core::{MemtisConfig, MemtisPolicy, MemtisStats};
+use memtis_sim::prelude::*;
+use memtis_workloads::{Benchmark, Scale, SpecStream};
+
+const ACCESSES: u64 = 250_000;
+const WINDOW: u64 = 25_000;
+
+fn ratio() -> Ratio {
+    Ratio {
+        fast: 1,
+        capacity: 8,
+    }
+}
+
+/// A config whose clocks all fire many times within the test budget.
+fn cfg() -> MemtisConfig {
+    MemtisConfig {
+        load_period: 4,
+        store_period: 64,
+        adapt_interval: 500,
+        cooling_interval: 10_000,
+        min_estimate_samples: 2_000,
+        control_interval: 1_000,
+        sample_cost_ns: 2.0,
+        ..MemtisConfig::sim_scaled()
+    }
+}
+
+fn run_traced(bench: Benchmark) -> (RunReport, MemtisStats, TracingObserver) {
+    let machine = machine_for(bench, Scale::TEST, ratio(), CapacityKind::Nvm);
+    let mut wl = SpecStream::new(bench.spec(Scale::TEST, ACCESSES), SEED);
+    let mut sim = Simulation::with_observer(
+        machine,
+        MemtisPolicy::new(cfg()),
+        driver_config_with_window(WINDOW),
+        TracingObserver::new(),
+    );
+    let report = sim.run(&mut wl).expect("run failed");
+    let stats = sim.policy().stats.clone();
+    let obs = sim.into_observer();
+    (report, stats, obs)
+}
+
+#[test]
+fn window_boundaries_are_event_multiples_and_bracket_cooling_ticks() {
+    let (report, stats, obs) = run_traced(Benchmark::XsBench);
+    let windows = &report.windows;
+    assert!(windows.len() >= 2, "expected several windows");
+
+    // Every non-final window closes exactly on a window_events boundary.
+    for (i, w) in windows.iter().enumerate() {
+        assert_eq!(w.index, i as u64);
+        if i + 1 < windows.len() {
+            assert_eq!(w.end_event, (i as u64 + 1) * WINDOW);
+        }
+        if i > 0 {
+            assert!(w.wall_ns >= windows[i - 1].wall_ns);
+            assert!(w.end_event > windows[i - 1].end_event);
+        }
+    }
+
+    // Every cooling tick falls inside exactly one window interval.
+    assert!(stats.coolings > 0, "test config must trigger cooling");
+    let mut ticks = 0usize;
+    for e in obs.ring.iter() {
+        if !matches!(e.kind, EventKind::CoolingTick { .. }) {
+            continue;
+        }
+        ticks += 1;
+        let brackets = windows
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| {
+                let lo = if *i == 0 { 0.0 } else { windows[i - 1].wall_ns };
+                lo < e.t_ns && e.t_ns <= w.wall_ns
+            })
+            .count();
+        assert_eq!(brackets, 1, "cooling tick at {} ns not bracketed", e.t_ns);
+    }
+    // Nothing was dropped at this scale, so the ring saw every tick.
+    assert_eq!(obs.ring.dropped(), 0);
+    assert_eq!(ticks as u64, stats.coolings);
+}
+
+#[test]
+fn window_rhr_ehr_match_fig12_end_of_run_values() {
+    let (report, stats, _obs) = run_traced(Benchmark::Silo);
+    assert!(stats.estimates > 0, "test config must trigger estimation");
+    let last = report.windows.last().expect("windows present");
+    // The final window carries the policy's latest estimates verbatim —
+    // the same numbers fig12_hit_ratios reads from the policy at run end.
+    assert_eq!(last.rhr.to_bits(), stats.last_rhr.to_bits());
+    assert_eq!(last.ehr.to_bits(), stats.last_ehr.to_bits());
+    let (_, rhr, ehr) = *stats.hr_series.last().expect("series present");
+    assert_eq!(rhr.to_bits(), stats.last_rhr.to_bits());
+    assert_eq!(ehr.to_bits(), stats.last_ehr.to_bits());
+}

@@ -14,8 +14,8 @@ use crate::meta::{subpage_hotness, PageMeta, SubMeta};
 use crate::regions::RegionTable;
 use crate::threshold::{adapt, Thresholds};
 use memtis_sim::prelude::{
-    Access, AccessOutcome, PageSize, PolicyDescriptor, PolicyOps, SimError, TierId, TieringPolicy,
-    VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES,
+    Access, AccessOutcome, EventKind, PageSize, PolicyDescriptor, PolicyOps, SimError,
+    ThresholdCause, TierId, TieringPolicy, VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES,
 };
 use memtis_tracking::pebs::{PebsSampler, PeriodController};
 use std::collections::VecDeque;
@@ -211,13 +211,19 @@ impl MemtisPolicy {
         }
     }
 
-    fn run_adaptation(&mut self, ops: &mut PolicyOps<'_>) {
+    fn run_adaptation(&mut self, ops: &mut PolicyOps<'_>, cause: ThresholdCause) {
         let fast = ops.capacity_bytes(TierId::FAST);
         self.thr = adapt(&self.page_hist, fast, self.cfg.alpha, self.cfg.warm_set);
         self.base_thr = adapt(&self.base_hist, fast, self.cfg.alpha, true);
         ops.charge(ADAPT_NS);
         self.window_cpu_ns += ADAPT_NS;
         self.stats.adaptations += 1;
+        ops.emit(EventKind::ThresholdRecompute {
+            cause,
+            hot: self.thr.hot as u32,
+            warm: self.thr.warm as u32,
+            cold: self.thr.cold as u32,
+        });
     }
 
     /// Periodic histogram cooling (§4.2.2): halve every count, shift both
@@ -346,7 +352,12 @@ impl MemtisPolicy {
         ops.charge(visited_4k as f64 * COOL_PAGE_NS);
         self.stats.coolings += 1;
         // Thresholds shift with the histogram (§4.2.2).
-        self.run_adaptation(ops);
+        self.run_adaptation(ops, ThresholdCause::Cooling);
+        ops.emit(EventKind::CoolingTick {
+            visited_4k,
+            hot_threshold: self.thr.hot as u32,
+            warm_threshold: self.thr.warm as u32,
+        });
     }
 
     /// Split-benefit estimation (§4.3.1) and candidate selection (§4.3.2).
@@ -577,6 +588,7 @@ impl MemtisPolicy {
             };
             // Validate the (possibly stale) queue entry.
             let Some(meta) = self.pages.get(vpage) else {
+                ops.cancel_migration(vpage, TierId::CAPACITY);
                 continue;
             };
             let bin = meta.bin as usize;
@@ -586,11 +598,15 @@ impl MemtisPolicy {
                 !self.thr.is_hot(bin)
             };
             if !ok_class {
+                ops.cancel_migration(vpage, TierId::CAPACITY);
                 continue;
             }
             match ops.locate(vpage) {
                 Some((TierId::FAST, size)) if size == meta.size => {}
-                _ => continue,
+                _ => {
+                    ops.cancel_migration(vpage, TierId::CAPACITY);
+                    continue;
+                }
             }
             match ops.migrate(vpage, TierId::CAPACITY) {
                 Ok(_) => {
@@ -729,7 +745,7 @@ impl TieringPolicy for MemtisPolicy {
 
         if self.since_adapt >= self.cfg.adapt_interval {
             self.since_adapt = 0;
-            self.run_adaptation(ops);
+            self.run_adaptation(ops, ThresholdCause::Periodic);
         }
         if self.since_cool >= self.cfg.cooling_interval {
             self.since_cool = 0;
@@ -755,6 +771,11 @@ impl TieringPolicy for MemtisPolicy {
                 self.stats
                     .period_series
                     .push((now, self.sampler.load_period()));
+                ops.emit(EventKind::SampleBatch {
+                    samples: self.cfg.control_interval,
+                    load_period: self.sampler.load_period(),
+                    cpu_usage: self.stats.cpu_usage_ema,
+                });
             }
             self.last_control_ns = now;
             self.window_cpu_ns = 0.0;
@@ -815,17 +836,22 @@ impl TieringPolicy for MemtisPolicy {
                 break;
             };
             let Some(meta) = self.pages.get_mut(vpage) else {
+                ops.cancel_migration(vpage, TierId::FAST);
                 continue;
             };
             meta.in_promo = false;
             let bin = meta.bin as usize;
             let size = meta.size;
             if !self.thr.is_hot(bin) {
+                ops.cancel_migration(vpage, TierId::FAST);
                 continue;
             }
             match ops.locate(vpage) {
                 Some((t, s)) if t != TierId::FAST && s == size => {}
-                _ => continue,
+                _ => {
+                    ops.cancel_migration(vpage, TierId::FAST);
+                    continue;
+                }
             }
             // Make room if needed (demote cold, then warm).
             if ops.free_bytes(TierId::FAST) < size.bytes() {
@@ -874,6 +900,13 @@ impl TieringPolicy for MemtisPolicy {
         out.push(("ehr", self.stats.last_ehr));
         out.push(("splits", self.stats.splits as f64));
         out.push(("load_period", self.sampler.load_period() as f64));
+        let active = self.page_hist.bins().iter().filter(|&&b| b > 0).count();
+        out.push(("hist_active_bins", active as f64));
+        out.push(("sampling_cpu", self.stats.cpu_usage_ema));
+    }
+
+    fn histogram_bins(&self, out: &mut Vec<u64>) {
+        out.extend_from_slice(self.page_hist.bins());
     }
 }
 

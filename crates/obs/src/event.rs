@@ -1,0 +1,224 @@
+//! Typed trace events.
+//!
+//! Events carry plain integers (virtual page numbers as `u64`, tier ids as
+//! `u8`) so this crate stays dependency-free; the simulator's newtypes are
+//! unwrapped at the emission site.
+
+/// Why a migration attempt did not move a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationFailure {
+    /// Destination tier had no free frame of the required size.
+    OutOfMemory,
+    /// The page was not mapped (stale queue entry, already freed).
+    NotMapped,
+    /// The virtual page was not aligned for its mapping size.
+    Unaligned,
+    /// Source and destination tier were the same.
+    SameTier,
+    /// A queued migration was dropped at re-validation (stale candidate:
+    /// page freed, reclassified, or already moved).
+    Cancelled,
+    /// Any other simulator error.
+    Other,
+}
+
+impl MigrationFailure {
+    /// Stable lower-case label used by the exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrationFailure::OutOfMemory => "out_of_memory",
+            MigrationFailure::NotMapped => "not_mapped",
+            MigrationFailure::Unaligned => "unaligned",
+            MigrationFailure::SameTier => "same_tier",
+            MigrationFailure::Cancelled => "cancelled",
+            MigrationFailure::Other => "other",
+        }
+    }
+}
+
+/// What triggered a TLB shootdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShootdownCause {
+    /// Page migration remapped the page.
+    Migration,
+    /// A huge page was split into base pages.
+    Split,
+    /// Base pages were collapsed into a huge page.
+    Collapse,
+    /// The workload unmapped the page.
+    Unmap,
+}
+
+impl ShootdownCause {
+    /// Stable lower-case label used by the exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShootdownCause::Migration => "migration",
+            ShootdownCause::Split => "split",
+            ShootdownCause::Collapse => "collapse",
+            ShootdownCause::Unmap => "unmap",
+        }
+    }
+}
+
+/// What triggered a threshold recomputation (MEMTIS Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdCause {
+    /// The periodic adaptation interval elapsed.
+    Periodic,
+    /// A cooling pass shifted the histogram, so thresholds follow.
+    Cooling,
+}
+
+impl ThresholdCause {
+    /// Stable lower-case label used by the exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ThresholdCause::Periodic => "periodic",
+            ThresholdCause::Cooling => "cooling",
+        }
+    }
+}
+
+/// One traced occurrence in the tiering substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A page moved toward the fast tier.
+    Promotion {
+        /// Virtual page number (4 KiB granule).
+        vpage: u64,
+        /// Source tier id.
+        from: u8,
+        /// Destination tier id.
+        to: u8,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// A page moved away from the fast tier.
+    Demotion {
+        /// Virtual page number (4 KiB granule).
+        vpage: u64,
+        /// Source tier id.
+        from: u8,
+        /// Destination tier id.
+        to: u8,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// A huge page was split into base pages.
+    Split {
+        /// Virtual page number of the huge page head.
+        vpage: u64,
+        /// Tier the page resided on.
+        tier: u8,
+        /// Never-written subpages unmapped and freed during the split.
+        zero_subpages_freed: u32,
+    },
+    /// 512 base pages were collapsed into one huge page.
+    Collapse {
+        /// Virtual page number of the new huge page head.
+        vpage: u64,
+        /// Tier the huge page was allocated on.
+        tier: u8,
+    },
+    /// A histogram cooling pass ran (counts halved, bins shifted).
+    CoolingTick {
+        /// 4 KiB page-equivalents visited by the cooling walk.
+        visited_4k: u64,
+        /// Hot-threshold bin after the pass.
+        hot_threshold: u32,
+        /// Warm-threshold bin after the pass.
+        warm_threshold: u32,
+    },
+    /// Thresholds were recomputed from the access distribution.
+    ThresholdRecompute {
+        /// What triggered the recomputation.
+        cause: ThresholdCause,
+        /// New hot-threshold bin.
+        hot: u32,
+        /// New warm-threshold bin.
+        warm: u32,
+        /// New cold-threshold bin.
+        cold: u32,
+    },
+    /// A batch of PEBS samples was processed by the sampling daemon.
+    SampleBatch {
+        /// Samples in the batch.
+        samples: u64,
+        /// Sampler load period in effect after the batch.
+        load_period: u64,
+        /// Smoothed sampling CPU usage (fraction of one core).
+        cpu_usage: f64,
+    },
+    /// A TLB shootdown was performed.
+    TlbShootdown {
+        /// Virtual page number the shootdown targeted.
+        vpage: u64,
+        /// What caused the shootdown.
+        cause: ShootdownCause,
+    },
+    /// A migration attempt failed or a queued migration was cancelled.
+    MigrationFailed {
+        /// Virtual page number (4 KiB granule).
+        vpage: u64,
+        /// Intended destination tier id.
+        to: u8,
+        /// Why the page did not move.
+        cause: MigrationFailure,
+    },
+}
+
+impl EventKind {
+    /// Stable lower-case kind label used by the exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Promotion { .. } => "promotion",
+            EventKind::Demotion { .. } => "demotion",
+            EventKind::Split { .. } => "split",
+            EventKind::Collapse { .. } => "collapse",
+            EventKind::CoolingTick { .. } => "cooling_tick",
+            EventKind::ThresholdRecompute { .. } => "threshold_recompute",
+            EventKind::SampleBatch { .. } => "sample_batch",
+            EventKind::TlbShootdown { .. } => "tlb_shootdown",
+            EventKind::MigrationFailed { .. } => "migration_failed",
+        }
+    }
+}
+
+/// One trace event: a kind plus the simulated time it occurred at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated wall-clock time of the event (ns).
+    pub t_ns: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event at simulated time `t_ns`.
+    pub fn new(t_ns: f64, kind: EventKind) -> Self {
+        Event { t_ns, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        let e = Event::new(
+            1.0,
+            EventKind::Promotion {
+                vpage: 7,
+                from: 1,
+                to: 0,
+                bytes: 4096,
+            },
+        );
+        assert_eq!(e.kind.label(), "promotion");
+        assert_eq!(MigrationFailure::Cancelled.label(), "cancelled");
+        assert_eq!(ShootdownCause::Unmap.label(), "unmap");
+        assert_eq!(ThresholdCause::Cooling.label(), "cooling");
+    }
+}

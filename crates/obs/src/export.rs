@@ -1,0 +1,572 @@
+//! Trace exporters and validators.
+//!
+//! Two formats are produced from the same [`TracingObserver`] + window
+//! series:
+//!
+//! - **JSONL** — one JSON object per line: a header (schema id, event and
+//!   drop counts, final counter values), then every retained event in
+//!   sequence order, then every closed window. Deterministic: the same
+//!   run produces byte-identical output.
+//! - **Chrome/Perfetto `trace_event` JSON** — loadable in `ui.perfetto.dev`
+//!   or `chrome://tracing`. Events become instants on three synthetic
+//!   threads named after MEMTIS's kernel daemons (ksampled, kmigrated,
+//!   khugepaged); windows become counter tracks (hit ratios, migration
+//!   bandwidth, throughput).
+//!
+//! The validators re-parse exported text with the dependency-free parser
+//! in [`crate::json`] so CI can smoke-check traces without external tools.
+
+use crate::event::EventKind;
+use crate::json::{escape, fmt_f64, Json};
+use crate::observer::TracingObserver;
+use crate::window::WindowSample;
+
+/// Schema identifier written into the JSONL header line.
+pub const JSONL_SCHEMA: &str = "memtis-trace-v1";
+
+fn push_kind_fields(out: &mut String, kind: &EventKind) {
+    use std::fmt::Write;
+    match *kind {
+        EventKind::Promotion {
+            vpage,
+            from,
+            to,
+            bytes,
+        }
+        | EventKind::Demotion {
+            vpage,
+            from,
+            to,
+            bytes,
+        } => {
+            let _ = write!(
+                out,
+                r#","vpage":{vpage},"from":{from},"to":{to},"bytes":{bytes}"#
+            );
+        }
+        EventKind::Split {
+            vpage,
+            tier,
+            zero_subpages_freed,
+        } => {
+            let _ = write!(
+                out,
+                r#","vpage":{vpage},"tier":{tier},"zero_subpages_freed":{zero_subpages_freed}"#
+            );
+        }
+        EventKind::Collapse { vpage, tier } => {
+            let _ = write!(out, r#","vpage":{vpage},"tier":{tier}"#);
+        }
+        EventKind::CoolingTick {
+            visited_4k,
+            hot_threshold,
+            warm_threshold,
+        } => {
+            let _ = write!(
+                out,
+                r#","visited_4k":{visited_4k},"hot_threshold":{hot_threshold},"warm_threshold":{warm_threshold}"#
+            );
+        }
+        EventKind::ThresholdRecompute {
+            cause,
+            hot,
+            warm,
+            cold,
+        } => {
+            let _ = write!(
+                out,
+                r#","cause":"{}","hot":{hot},"warm":{warm},"cold":{cold}"#,
+                cause.label()
+            );
+        }
+        EventKind::SampleBatch {
+            samples,
+            load_period,
+            cpu_usage,
+        } => {
+            let _ = write!(
+                out,
+                r#","samples":{samples},"load_period":{load_period},"cpu_usage":{}"#,
+                fmt_f64(cpu_usage)
+            );
+        }
+        EventKind::TlbShootdown { vpage, cause } => {
+            let _ = write!(out, r#","vpage":{vpage},"cause":"{}""#, cause.label());
+        }
+        EventKind::MigrationFailed { vpage, to, cause } => {
+            let _ = write!(
+                out,
+                r#","vpage":{vpage},"to":{to},"cause":"{}""#,
+                cause.label()
+            );
+        }
+    }
+}
+
+fn window_json(s: &WindowSample) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        r#"{{"window":{},"end_event":{},"wall_ns":{},"accesses":{},"window_accesses":{},"window_throughput":{},"fast_hit_ratio":{},"rhr":{},"ehr":{},"migrated_bytes":{},"migration_bw":{}"#,
+        s.index,
+        s.end_event,
+        fmt_f64(s.wall_ns),
+        s.accesses,
+        s.window_accesses,
+        fmt_f64(s.window_throughput),
+        fmt_f64(s.fast_hit_ratio),
+        fmt_f64(s.rhr),
+        fmt_f64(s.ehr),
+        s.migrated_bytes,
+        fmt_f64(s.migration_bw),
+    );
+    out.push_str(",\"tier_hit_ratios\":[");
+    for (i, v) in s.tier_hit_ratios.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&fmt_f64(*v));
+    }
+    out.push_str("],\"hist_bins\":[");
+    for (i, v) in s.hist_bins.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push_str("],\"gauges\":{");
+    for (i, (name, v)) in s.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, r#""{}":{}"#, escape(name), fmt_f64(*v));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Serializes a trace as JSONL: header line, event lines, window lines.
+pub fn export_jsonl(obs: &TracingObserver, windows: &[WindowSample]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"{{"schema":"{}","events":{},"retained":{},"dropped":{},"counters":{{"#,
+        JSONL_SCHEMA,
+        obs.ring.pushed(),
+        obs.ring.len(),
+        obs.ring.dropped(),
+    );
+    for (i, (name, v)) in obs.registry.counters_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, r#""{}":{}"#, escape(name), v);
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in obs.registry.gauges_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, r#""{}":{}"#, escape(name), fmt_f64(*v));
+    }
+    out.push_str("}}\n");
+    for (seq, ev) in (obs.ring.first_seq()..).zip(obs.ring.iter()) {
+        let _ = write!(
+            out,
+            r#"{{"seq":{seq},"t_ns":{},"kind":"{}""#,
+            fmt_f64(ev.t_ns),
+            ev.kind.label()
+        );
+        push_kind_fields(&mut out, &ev.kind);
+        out.push_str("}\n");
+    }
+    for w in windows {
+        out.push_str(&window_json(w));
+        out.push('\n');
+    }
+    out
+}
+
+/// Synthetic Perfetto thread id an event is attributed to.
+fn perfetto_tid(kind: &EventKind) -> u32 {
+    match kind {
+        EventKind::SampleBatch { .. }
+        | EventKind::CoolingTick { .. }
+        | EventKind::ThresholdRecompute { .. } => 1,
+        EventKind::Promotion { .. }
+        | EventKind::Demotion { .. }
+        | EventKind::TlbShootdown { .. }
+        | EventKind::MigrationFailed { .. } => 2,
+        EventKind::Split { .. } | EventKind::Collapse { .. } => 3,
+    }
+}
+
+fn perfetto_args(kind: &EventKind) -> String {
+    let mut s = String::from("{\"_\":0");
+    push_kind_fields(&mut s, kind);
+    s.push('}');
+    s
+}
+
+/// Serializes a trace as Chrome/Perfetto `trace_event` JSON.
+///
+/// Events appear as instants (`ph:"i"`) on three synthetic threads named
+/// after the MEMTIS daemons: tid 1 `ksampled` (sampling, cooling,
+/// thresholds), tid 2 `kmigrated` (migrations, shootdowns), tid 3
+/// `khugepaged` (splits, collapses). Windows appear as counter tracks
+/// (`ph:"C"`). Timestamps are microseconds of simulated time.
+pub fn export_perfetto(obs: &TracingObserver, windows: &[WindowSample]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&line);
+    };
+    for (tid, name) in [(1u32, "ksampled"), (2, "kmigrated"), (3, "khugepaged")] {
+        emit(
+            format!(
+                r#"{{"ph":"M","pid":1,"tid":{tid},"name":"thread_name","args":{{"name":"{name}"}}}}"#
+            ),
+            &mut out,
+        );
+    }
+    for ev in obs.ring.iter() {
+        let ts = fmt_f64(ev.t_ns / 1000.0);
+        emit(
+            format!(
+                r#"{{"ph":"i","pid":1,"tid":{},"ts":{ts},"s":"t","name":"{}","args":{}}}"#,
+                perfetto_tid(&ev.kind),
+                ev.kind.label(),
+                perfetto_args(&ev.kind)
+            ),
+            &mut out,
+        );
+    }
+    for w in windows {
+        let ts = fmt_f64(w.wall_ns / 1000.0);
+        let mut line = format!(r#"{{"ph":"C","pid":1,"ts":{ts},"name":"hit_ratio","args":{{"#);
+        let _ = write!(
+            line,
+            r#""rhr":{},"ehr":{},"fast":{}}}}}"#,
+            fmt_f64(w.rhr),
+            fmt_f64(w.ehr),
+            fmt_f64(w.fast_hit_ratio)
+        );
+        emit(line, &mut out);
+        emit(
+            format!(
+                r#"{{"ph":"C","pid":1,"ts":{ts},"name":"migration_bw","args":{{"bytes_per_s":{}}}}}"#,
+                fmt_f64(w.migration_bw)
+            ),
+            &mut out,
+        );
+        emit(
+            format!(
+                r#"{{"ph":"C","pid":1,"ts":{ts},"name":"throughput","args":{{"accesses_per_s":{}}}}}"#,
+                fmt_f64(w.window_throughput)
+            ),
+            &mut out,
+        );
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// All event-kind labels the JSONL validator accepts.
+const KNOWN_KINDS: [&str; 9] = [
+    "promotion",
+    "demotion",
+    "split",
+    "collapse",
+    "cooling_tick",
+    "threshold_recompute",
+    "sample_batch",
+    "tlb_shootdown",
+    "migration_failed",
+];
+
+/// Summary returned by a successful [`validate_jsonl`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonlSummary {
+    /// Event lines present in the file.
+    pub events: usize,
+    /// Window lines present in the file.
+    pub windows: usize,
+    /// Dropped-event count declared by the header.
+    pub dropped: u64,
+}
+
+/// Validates JSONL trace text: parseable lines, a well-formed header,
+/// contiguous event sequence numbers, known event kinds, and contiguous
+/// window indices. Returns line counts on success.
+pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace")?;
+    let h = Json::parse(header).map_err(|e| format!("header: {e}"))?;
+    if h.get("schema").and_then(Json::as_str) != Some(JSONL_SCHEMA) {
+        return Err(format!("header schema is not {JSONL_SCHEMA:?}"));
+    }
+    let declared_events = h
+        .get("events")
+        .and_then(Json::as_f64)
+        .ok_or("header missing \"events\"")? as u64;
+    let retained = h
+        .get("retained")
+        .and_then(Json::as_f64)
+        .ok_or("header missing \"retained\"")? as u64;
+    let dropped = h
+        .get("dropped")
+        .and_then(Json::as_f64)
+        .ok_or("header missing \"dropped\"")? as u64;
+    if retained + dropped != declared_events {
+        return Err("header retained + dropped != events".to_string());
+    }
+    h.get("counters")
+        .and_then(|c| c.get("events_recorded"))
+        .ok_or("header missing counters.events_recorded")?;
+    let mut events = 0usize;
+    let mut windows = 0usize;
+    let mut next_seq = dropped;
+    let mut next_window = 0u64;
+    for (lineno, line) in lines {
+        let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if let Some(seq) = v.get("seq").and_then(Json::as_f64) {
+            if seq as u64 != next_seq {
+                return Err(format!(
+                    "line {}: seq {} != expected {}",
+                    lineno + 1,
+                    seq,
+                    next_seq
+                ));
+            }
+            next_seq += 1;
+            let kind = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: event without kind", lineno + 1))?;
+            if !KNOWN_KINDS.contains(&kind) {
+                return Err(format!("line {}: unknown kind {kind:?}", lineno + 1));
+            }
+            v.get("t_ns")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {}: event without t_ns", lineno + 1))?;
+            events += 1;
+        } else if let Some(w) = v.get("window").and_then(Json::as_f64) {
+            if w as u64 != next_window {
+                return Err(format!(
+                    "line {}: window {} != expected {}",
+                    lineno + 1,
+                    w,
+                    next_window
+                ));
+            }
+            next_window += 1;
+            for key in ["wall_ns", "rhr", "ehr", "window_throughput", "migration_bw"] {
+                v.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {}: window without {key}", lineno + 1))?;
+            }
+            windows += 1;
+        } else {
+            return Err(format!("line {}: neither event nor window", lineno + 1));
+        }
+    }
+    if events as u64 != retained {
+        return Err(format!(
+            "header declares {retained} retained events, found {events}"
+        ));
+    }
+    Ok(JsonlSummary {
+        events,
+        windows,
+        dropped,
+    })
+}
+
+/// Validates Perfetto `trace_event` JSON: a `traceEvents` array whose
+/// entries carry a known phase, pid, and (for non-metadata phases) a
+/// non-negative timestamp. Returns the entry count on success.
+pub fn validate_perfetto(text: &str) -> Result<usize, String> {
+    let v = Json::parse(text)?;
+    let evs = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    for (i, e) in evs.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("entry {i}: missing ph"))?;
+        if !matches!(ph, "M" | "i" | "C" | "X" | "B" | "E") {
+            return Err(format!("entry {i}: unknown phase {ph:?}"));
+        }
+        e.get("pid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("entry {i}: missing pid"))?;
+        if ph != "M" {
+            let ts = e
+                .get("ts")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry {i}: missing ts"))?;
+            if ts < 0.0 {
+                return Err(format!("entry {i}: negative ts"));
+            }
+        }
+        e.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("entry {i}: missing name"))?;
+    }
+    Ok(evs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, MigrationFailure, ShootdownCause, ThresholdCause};
+    use crate::observer::Observer;
+
+    fn sample_observer() -> TracingObserver {
+        let mut o = TracingObserver::new();
+        o.record(Event::new(
+            1000.0,
+            EventKind::SampleBatch {
+                samples: 32,
+                load_period: 1009,
+                cpu_usage: 0.015,
+            },
+        ));
+        o.record(Event::new(
+            2000.0,
+            EventKind::Promotion {
+                vpage: 42,
+                from: 1,
+                to: 0,
+                bytes: 4096,
+            },
+        ));
+        o.record(Event::new(
+            2500.0,
+            EventKind::ThresholdRecompute {
+                cause: ThresholdCause::Periodic,
+                hot: 5,
+                warm: 3,
+                cold: 1,
+            },
+        ));
+        o.record(Event::new(
+            3000.0,
+            EventKind::Split {
+                vpage: 512,
+                tier: 0,
+                zero_subpages_freed: 7,
+            },
+        ));
+        o.record(Event::new(
+            3500.0,
+            EventKind::TlbShootdown {
+                vpage: 42,
+                cause: ShootdownCause::Migration,
+            },
+        ));
+        o.record(Event::new(
+            4000.0,
+            EventKind::MigrationFailed {
+                vpage: 9,
+                to: 0,
+                cause: MigrationFailure::OutOfMemory,
+            },
+        ));
+        o
+    }
+
+    fn sample_windows() -> Vec<WindowSample> {
+        vec![WindowSample {
+            index: 0,
+            end_event: 100,
+            wall_ns: 5000.0,
+            accesses: 90,
+            window_accesses: 90,
+            window_throughput: 1.8e7,
+            fast_hit_ratio: 0.75,
+            tier_hit_ratios: vec![0.75, 0.25],
+            rhr: 0.8,
+            ehr: 0.85,
+            migrated_bytes: 4096,
+            migration_bw: 8.192e8,
+            hist_bins: vec![1, 0, 3],
+            gauges: vec![("hot_bytes", 8192.0)],
+        }]
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_validator() {
+        let o = sample_observer();
+        let w = sample_windows();
+        let text = export_jsonl(&o, &w);
+        let s = validate_jsonl(&text).unwrap();
+        assert_eq!(s.events, 6);
+        assert_eq!(s.windows, 1);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn jsonl_is_deterministic() {
+        let o = sample_observer();
+        let w = sample_windows();
+        assert_eq!(export_jsonl(&o, &w), export_jsonl(&o, &w));
+    }
+
+    #[test]
+    fn jsonl_reports_drops_in_header() {
+        let mut o = TracingObserver::with_ring_capacity(2);
+        for i in 0..5u64 {
+            o.record(Event::new(
+                i as f64,
+                EventKind::Collapse { vpage: i, tier: 0 },
+            ));
+        }
+        let text = export_jsonl(&o, &[]);
+        let s = validate_jsonl(&text).unwrap();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.dropped, 3);
+        // First retained event keeps its global sequence number.
+        let second_line = text.lines().nth(1).unwrap();
+        let v = Json::parse(second_line).unwrap();
+        assert_eq!(v.get("seq").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn perfetto_roundtrips_through_validator() {
+        let o = sample_observer();
+        let w = sample_windows();
+        let text = export_perfetto(&o, &w);
+        // 3 thread metadata + 6 instants + 3 counters.
+        assert_eq!(validate_perfetto(&text).unwrap(), 12);
+        let v = Json::parse(&text).unwrap();
+        let evs = v.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Instants are µs: the promotion at 2000 ns lands at ts=2.
+        let promo = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("promotion"))
+            .unwrap();
+        assert_eq!(promo.get("ts").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(promo.get("tid").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn validators_reject_corruption() {
+        let o = sample_observer();
+        let text = export_jsonl(&o, &[]);
+        let broken = text.replacen("\"seq\":1", "\"seq\":7", 1);
+        assert!(validate_jsonl(&broken).is_err());
+        assert!(validate_jsonl("not json\n").is_err());
+        assert!(validate_perfetto("{\"traceEvents\":[{\"ph\":\"Z\"}]}").is_err());
+    }
+}

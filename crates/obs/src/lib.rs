@@ -1,0 +1,39 @@
+//! # memtis-obs — observability for the tiering substrate
+//!
+//! A unified tracing/metrics layer for the simulator, the MEMTIS policy,
+//! and every baseline:
+//!
+//! - [`event`] — typed trace events ([`Event`]/[`EventKind`]) carrying
+//!   sim-time, page id, tier, and cause.
+//! - [`ring`] — a fixed-capacity, drop-oldest event ring ([`EventRing`])
+//!   with a dropped-event counter; pushes never allocate once full.
+//! - [`registry`] — monotonic counters and gauges ([`Registry`]) updated
+//!   with relaxed atomic operations.
+//! - [`window`] — a windowed time-series collector ([`WindowCollector`])
+//!   snapshotting hit ratios, migration bandwidth, and histogram state
+//!   every N simulation events into [`WindowSample`]s.
+//! - [`observer`] — the [`Observer`] trait instrumentation sites are
+//!   generic over. The [`NopObserver`] default compiles to nothing;
+//!   [`TracingObserver`] records everything.
+//! - [`export`] — JSONL and Chrome/Perfetto `trace_event` exporters plus
+//!   dependency-free validators for CI smoke checks.
+//!
+//! The crate is dependency-free (events carry plain `u64`/`u8` ids) so the
+//! simulator can depend on it without cycles.
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod observer;
+pub mod registry;
+pub mod ring;
+pub mod window;
+
+pub use event::{Event, EventKind, MigrationFailure, ShootdownCause, ThresholdCause};
+pub use export::{
+    export_jsonl, export_perfetto, validate_jsonl, validate_perfetto, JsonlSummary, JSONL_SCHEMA,
+};
+pub use observer::{NopObserver, Observer, TracingObserver};
+pub use registry::{CounterId, GaugeId, Registry};
+pub use ring::EventRing;
+pub use window::{WindowCollector, WindowCut, WindowSample};

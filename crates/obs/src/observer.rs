@@ -1,0 +1,259 @@
+//! The [`Observer`] trait and its two canonical implementations.
+//!
+//! Instrumentation sites hold a `&mut dyn Observer` (or are generic over
+//! `O: Observer`) and guard every emission with [`Observer::enabled`]. For
+//! [`NopObserver`] that check is a constant `false` the optimizer deletes
+//! together with the event-construction code behind it, so an untraced
+//! build pays nothing — not even a branch — at the instrumentation sites.
+
+use crate::event::{Event, EventKind};
+use crate::registry::{CounterId, GaugeId, Registry};
+use crate::ring::EventRing;
+use crate::window::WindowSample;
+
+/// Sink for trace events and window samples.
+///
+/// All methods have no-op defaults so implementations opt into exactly the
+/// signals they care about. The trait is object-safe: policies behind
+/// `Box<dyn TieringPolicy>` receive a `&mut dyn Observer`.
+pub trait Observer {
+    /// Whether this observer wants events at all. Emission sites check
+    /// this before constructing an [`Event`], so a `false` constant makes
+    /// the whole site dead code.
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one event.
+    #[inline]
+    fn record(&mut self, event: Event) {
+        let _ = event;
+    }
+
+    /// Notifies that a telemetry window closed.
+    #[inline]
+    fn on_window(&mut self, sample: &WindowSample) {
+        let _ = sample;
+    }
+}
+
+/// The default observer: discards everything, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NopObserver;
+
+impl Observer for NopObserver {}
+
+/// Blanket forwarding so `&mut O` works where `impl Observer` is expected.
+impl<O: Observer + ?Sized> Observer for &mut O {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+
+    #[inline]
+    fn on_window(&mut self, sample: &WindowSample) {
+        (**self).on_window(sample);
+    }
+}
+
+/// A recording observer: events go into a drop-oldest [`EventRing`] and
+/// every event also bumps the matching [`Registry`] counters, so counters
+/// stay exact even after the ring overflows.
+#[derive(Debug, Default)]
+pub struct TracingObserver {
+    /// The event ring (drop-oldest on overflow).
+    pub ring: EventRing,
+    /// Counters and gauges derived from the event stream.
+    pub registry: Registry,
+}
+
+impl TracingObserver {
+    /// Creates a tracer with the default ring capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tracer retaining at most `capacity` events.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        TracingObserver {
+            ring: EventRing::with_capacity(capacity),
+            registry: Registry::new(),
+        }
+    }
+}
+
+impl Observer for TracingObserver {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: Event) {
+        let r = &self.registry;
+        r.inc(CounterId::EventsRecorded);
+        match event.kind {
+            EventKind::Promotion { .. } => r.inc(CounterId::Promotions),
+            EventKind::Demotion { .. } => r.inc(CounterId::Demotions),
+            EventKind::Split { .. } => r.inc(CounterId::Splits),
+            EventKind::Collapse { .. } => r.inc(CounterId::Collapses),
+            EventKind::CoolingTick { .. } => r.inc(CounterId::CoolingTicks),
+            EventKind::ThresholdRecompute { .. } => r.inc(CounterId::ThresholdRecomputes),
+            EventKind::SampleBatch {
+                samples,
+                load_period,
+                cpu_usage,
+            } => {
+                r.inc(CounterId::SampleBatches);
+                r.add(CounterId::SamplesProcessed, samples);
+                r.set_gauge(GaugeId::LoadPeriod, load_period as f64);
+                r.set_gauge(GaugeId::SamplingCpu, cpu_usage);
+            }
+            EventKind::TlbShootdown { .. } => r.inc(CounterId::TlbShootdowns),
+            EventKind::MigrationFailed { cause, .. } => {
+                if cause == crate::event::MigrationFailure::Cancelled {
+                    r.inc(CounterId::MigrationsCancelled);
+                } else {
+                    r.inc(CounterId::MigrationsFailed);
+                }
+            }
+        }
+        self.ring.push(event);
+        self.registry
+            .set_counter(CounterId::EventsDropped, self.ring.dropped());
+    }
+
+    fn on_window(&mut self, sample: &WindowSample) {
+        let r = &self.registry;
+        r.set_gauge(GaugeId::Rhr, sample.rhr);
+        r.set_gauge(GaugeId::Ehr, sample.ehr);
+        if let Some(v) = sample.gauge("hot_bytes") {
+            r.set_gauge(GaugeId::HotSetBytes, v);
+        }
+        if let Some(v) = sample.gauge("warm_bytes") {
+            r.set_gauge(GaugeId::WarmSetBytes, v);
+        }
+        if let Some(v) = sample.gauge("cold_bytes") {
+            r.set_gauge(GaugeId::ColdSetBytes, v);
+        }
+        let active = sample.hist_bins.iter().filter(|&&b| b > 0).count();
+        if !sample.hist_bins.is_empty() {
+            r.set_gauge(GaugeId::HistActiveBins, active as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MigrationFailure, ShootdownCause};
+
+    #[test]
+    fn nop_observer_is_disabled() {
+        let mut o = NopObserver;
+        assert!(!o.enabled());
+        o.record(Event::new(
+            0.0,
+            EventKind::TlbShootdown {
+                vpage: 1,
+                cause: ShootdownCause::Unmap,
+            },
+        ));
+    }
+
+    #[test]
+    fn tracer_derives_counters_from_events() {
+        let mut o = TracingObserver::new();
+        assert!(o.enabled());
+        o.record(Event::new(
+            1.0,
+            EventKind::Promotion {
+                vpage: 1,
+                from: 1,
+                to: 0,
+                bytes: 4096,
+            },
+        ));
+        o.record(Event::new(
+            2.0,
+            EventKind::SampleBatch {
+                samples: 64,
+                load_period: 1007,
+                cpu_usage: 0.02,
+            },
+        ));
+        o.record(Event::new(
+            3.0,
+            EventKind::MigrationFailed {
+                vpage: 9,
+                to: 0,
+                cause: MigrationFailure::Cancelled,
+            },
+        ));
+        o.record(Event::new(
+            4.0,
+            EventKind::MigrationFailed {
+                vpage: 9,
+                to: 0,
+                cause: MigrationFailure::OutOfMemory,
+            },
+        ));
+        let r = &o.registry;
+        assert_eq!(r.counter(CounterId::EventsRecorded), 4);
+        assert_eq!(r.counter(CounterId::Promotions), 1);
+        assert_eq!(r.counter(CounterId::SampleBatches), 1);
+        assert_eq!(r.counter(CounterId::SamplesProcessed), 64);
+        assert_eq!(r.counter(CounterId::MigrationsCancelled), 1);
+        assert_eq!(r.counter(CounterId::MigrationsFailed), 1);
+        assert_eq!(r.gauge(GaugeId::LoadPeriod), 1007.0);
+        assert_eq!(o.ring.len(), 4);
+    }
+
+    #[test]
+    fn dropped_counter_mirrors_ring() {
+        let mut o = TracingObserver::with_ring_capacity(2);
+        for i in 0..5 {
+            o.record(Event::new(
+                i as f64,
+                EventKind::TlbShootdown {
+                    vpage: i,
+                    cause: ShootdownCause::Migration,
+                },
+            ));
+        }
+        assert_eq!(o.registry.counter(CounterId::EventsRecorded), 5);
+        assert_eq!(o.registry.counter(CounterId::EventsDropped), 3);
+        assert_eq!(o.ring.dropped(), 3);
+    }
+
+    #[test]
+    fn window_updates_gauges() {
+        let mut o = TracingObserver::new();
+        let s = WindowSample {
+            index: 0,
+            end_event: 10,
+            wall_ns: 1e6,
+            accesses: 10,
+            window_accesses: 10,
+            window_throughput: 1.0,
+            fast_hit_ratio: 0.5,
+            tier_hit_ratios: vec![0.5, 0.5],
+            rhr: 0.8,
+            ehr: 0.9,
+            migrated_bytes: 0,
+            migration_bw: 0.0,
+            hist_bins: vec![0, 3, 0, 1],
+            gauges: vec![("hot_bytes", 123.0)],
+        };
+        o.on_window(&s);
+        assert_eq!(o.registry.gauge(GaugeId::Rhr), 0.8);
+        assert_eq!(o.registry.gauge(GaugeId::Ehr), 0.9);
+        assert_eq!(o.registry.gauge(GaugeId::HotSetBytes), 123.0);
+        assert_eq!(o.registry.gauge(GaugeId::HistActiveBins), 2.0);
+    }
+}

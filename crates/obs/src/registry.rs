@@ -1,0 +1,248 @@
+//! Counter and gauge registry.
+//!
+//! Monotonic counters and point-in-time gauges with cheap relaxed-atomic
+//! updates: an increment is a single `fetch_add(Relaxed)`, so shared-ring
+//! consumers (e.g. the runtime's real-thread daemons) can bump counters
+//! without synchronizing with readers. Readers see each cell individually
+//! atomically; cross-counter snapshots are only consistent at quiescence,
+//! which is all the end-of-run reporting needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counter identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CounterId {
+    /// Events recorded into the trace ring (before overflow drops).
+    EventsRecorded,
+    /// Events lost to ring overflow (drop-oldest).
+    EventsDropped,
+    /// Pages promoted toward the fast tier.
+    Promotions,
+    /// Pages demoted away from the fast tier.
+    Demotions,
+    /// Huge pages split.
+    Splits,
+    /// Huge pages collapsed.
+    Collapses,
+    /// Histogram cooling passes.
+    CoolingTicks,
+    /// Threshold recomputations (Algorithm 1 walks).
+    ThresholdRecomputes,
+    /// PEBS sample batches processed.
+    SampleBatches,
+    /// PEBS samples processed (sum over batches).
+    SamplesProcessed,
+    /// TLB shootdowns observed.
+    TlbShootdowns,
+    /// Migration attempts that failed in the machine.
+    MigrationsFailed,
+    /// Queued migrations cancelled at re-validation.
+    MigrationsCancelled,
+}
+
+impl CounterId {
+    /// All counters, in registry order.
+    pub const ALL: [CounterId; 13] = [
+        CounterId::EventsRecorded,
+        CounterId::EventsDropped,
+        CounterId::Promotions,
+        CounterId::Demotions,
+        CounterId::Splits,
+        CounterId::Collapses,
+        CounterId::CoolingTicks,
+        CounterId::ThresholdRecomputes,
+        CounterId::SampleBatches,
+        CounterId::SamplesProcessed,
+        CounterId::TlbShootdowns,
+        CounterId::MigrationsFailed,
+        CounterId::MigrationsCancelled,
+    ];
+
+    /// Stable snake_case name used by the exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CounterId::EventsRecorded => "events_recorded",
+            CounterId::EventsDropped => "events_dropped",
+            CounterId::Promotions => "promotions",
+            CounterId::Demotions => "demotions",
+            CounterId::Splits => "splits",
+            CounterId::Collapses => "collapses",
+            CounterId::CoolingTicks => "cooling_ticks",
+            CounterId::ThresholdRecomputes => "threshold_recomputes",
+            CounterId::SampleBatches => "sample_batches",
+            CounterId::SamplesProcessed => "samples_processed",
+            CounterId::TlbShootdowns => "tlb_shootdowns",
+            CounterId::MigrationsFailed => "migrations_failed",
+            CounterId::MigrationsCancelled => "migrations_cancelled",
+        }
+    }
+}
+
+/// Gauge identifiers (point-in-time values, not monotonic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum GaugeId {
+    /// Bytes currently classified hot.
+    HotSetBytes,
+    /// Bytes currently classified warm.
+    WarmSetBytes,
+    /// Bytes currently classified cold.
+    ColdSetBytes,
+    /// Non-empty histogram bins (occupancy of the classification array).
+    HistActiveBins,
+    /// Estimated sampling CPU usage (fraction of one core).
+    SamplingCpu,
+    /// Current PEBS load sampling period.
+    LoadPeriod,
+    /// Most recent windowed real hit ratio (rHR).
+    Rhr,
+    /// Most recent windowed estimated base-page hit ratio (eHR).
+    Ehr,
+}
+
+impl GaugeId {
+    /// All gauges, in registry order.
+    pub const ALL: [GaugeId; 8] = [
+        GaugeId::HotSetBytes,
+        GaugeId::WarmSetBytes,
+        GaugeId::ColdSetBytes,
+        GaugeId::HistActiveBins,
+        GaugeId::SamplingCpu,
+        GaugeId::LoadPeriod,
+        GaugeId::Rhr,
+        GaugeId::Ehr,
+    ];
+
+    /// Stable snake_case name used by the exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GaugeId::HotSetBytes => "hot_set_bytes",
+            GaugeId::WarmSetBytes => "warm_set_bytes",
+            GaugeId::ColdSetBytes => "cold_set_bytes",
+            GaugeId::HistActiveBins => "hist_active_bins",
+            GaugeId::SamplingCpu => "sampling_cpu",
+            GaugeId::LoadPeriod => "load_period",
+            GaugeId::Rhr => "rhr",
+            GaugeId::Ehr => "ehr",
+        }
+    }
+}
+
+/// The counter/gauge registry.
+///
+/// Gauges store `f64` bit patterns in `AtomicU64` cells so both kinds share
+/// the same relaxed-atomic storage.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: [AtomicU64; CounterId::ALL.len()],
+    gauges: [AtomicU64; GaugeId::ALL.len()],
+}
+
+impl Registry {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter (relaxed).
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.counters[id as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one (relaxed).
+    #[inline]
+    pub fn inc(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Current counter value (relaxed).
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sets a counter to an absolute value (used to mirror an external
+    /// monotonic source like the ring's dropped count).
+    pub fn set_counter(&self, id: CounterId, v: u64) {
+        self.counters[id as usize].store(v, Ordering::Relaxed);
+    }
+
+    /// Sets a gauge (relaxed).
+    #[inline]
+    pub fn set_gauge(&self, id: GaugeId, v: f64) {
+        self.gauges[id as usize].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current gauge value (relaxed).
+    pub fn gauge(&self, id: GaugeId) -> f64 {
+        f64::from_bits(self.gauges[id as usize].load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of all counters as `(name, value)` pairs.
+    pub fn counters_snapshot(&self) -> Vec<(&'static str, u64)> {
+        CounterId::ALL
+            .iter()
+            .map(|&id| (id.name(), self.counter(id)))
+            .collect()
+    }
+
+    /// Snapshot of all gauges as `(name, value)` pairs.
+    pub fn gauges_snapshot(&self) -> Vec<(&'static str, f64)> {
+        GaugeId::ALL
+            .iter()
+            .map(|&id| (id.name(), self.gauge(id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.inc(CounterId::Promotions);
+        r.add(CounterId::Promotions, 4);
+        assert_eq!(r.counter(CounterId::Promotions), 5);
+        assert_eq!(r.counter(CounterId::Demotions), 0);
+    }
+
+    #[test]
+    fn gauges_store_point_values() {
+        let r = Registry::new();
+        r.set_gauge(GaugeId::Rhr, 0.875);
+        r.set_gauge(GaugeId::Rhr, 0.5);
+        assert_eq!(r.gauge(GaugeId::Rhr), 0.5);
+        assert_eq!(r.gauge(GaugeId::Ehr), 0.0);
+    }
+
+    #[test]
+    fn snapshots_cover_every_id() {
+        let r = Registry::new();
+        assert_eq!(r.counters_snapshot().len(), CounterId::ALL.len());
+        assert_eq!(r.gauges_snapshot().len(), GaugeId::ALL.len());
+        // Names are unique (exporter keys).
+        let mut names: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CounterId::ALL.len());
+    }
+
+    #[test]
+    fn updates_are_safe_across_threads() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        r.inc(CounterId::TlbShootdowns);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter(CounterId::TlbShootdowns), 4000);
+    }
+}

@@ -21,6 +21,10 @@ use crate::error::{SimError, SimResult};
 use crate::machine::Machine;
 use crate::policy::{CostAccounting, CostSink, PolicyOps, TieringPolicy};
 use crate::stats::MachineStats;
+use memtis_obs::{
+    Event, EventKind, NopObserver, Observer, ShootdownCause, WindowCollector, WindowCut,
+    WindowSample,
+};
 
 /// One event produced by a workload generator.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +70,10 @@ pub struct DriverConfig {
     pub timeline_interval_ns: f64,
     /// Stop after this many accesses even if the stream continues.
     pub max_accesses: Option<u64>,
+    /// Telemetry window length in workload events (accesses + allocs +
+    /// frees). A window closes every this-many events; a final partial
+    /// window covers the tail of the run.
+    pub window_events: u64,
 }
 
 impl Default for DriverConfig {
@@ -75,6 +83,7 @@ impl Default for DriverConfig {
             tick_interval_ns: 100_000.0,
             timeline_interval_ns: 2_000_000.0,
             max_accesses: None,
+            window_events: 100_000,
         }
     }
 }
@@ -127,6 +136,9 @@ pub struct RunReport {
     pub rss_final_bytes: u64,
     /// Timeline snapshots.
     pub timeline: Vec<Snapshot>,
+    /// Telemetry windows (every [`DriverConfig::window_events`] events),
+    /// produced by the shared [`WindowCollector`] regardless of observer.
+    pub windows: Vec<WindowSample>,
     /// Workload events processed (accesses + allocs + frees).
     pub sim_events: u64,
     /// *Host* wall-clock time the run took (ns) — simulator self-throughput,
@@ -174,35 +186,53 @@ struct WindowState {
 }
 
 /// The simulation: one machine, one policy, one workload stream.
-pub struct Simulation<P: TieringPolicy> {
+///
+/// Generic over an [`Observer`]; the default [`NopObserver`] compiles the
+/// instrumentation away entirely. Build a traced simulation with
+/// [`Simulation::with_observer`].
+pub struct Simulation<P: TieringPolicy, O: Observer = NopObserver> {
     machine: Machine,
     policy: P,
+    obs: O,
     cfg: DriverConfig,
     acct: CostAccounting,
     wall_ns: f64,
     app_access_ns: f64,
     accesses: u64,
+    sim_events: u64,
     next_tick: f64,
     next_snapshot: f64,
     rss_peak: u64,
     timeline: Vec<Snapshot>,
     window: WindowState,
+    wcol: WindowCollector,
 }
 
-impl<P: TieringPolicy> Simulation<P> {
-    /// Creates a simulation over a fresh machine.
+impl<P: TieringPolicy> Simulation<P, NopObserver> {
+    /// Creates an untraced simulation over a fresh machine.
     pub fn new(machine_cfg: MachineConfig, policy: P, cfg: DriverConfig) -> Self {
+        Self::with_observer(machine_cfg, policy, cfg, NopObserver)
+    }
+}
+
+impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
+    /// Creates a simulation routing trace events and window samples to
+    /// `obs`.
+    pub fn with_observer(machine_cfg: MachineConfig, policy: P, cfg: DriverConfig, obs: O) -> Self {
         let machine = Machine::new(machine_cfg);
         let next_tick = cfg.tick_interval_ns;
         let next_snapshot = cfg.timeline_interval_ns;
+        let wcol = WindowCollector::new(cfg.window_events);
         Simulation {
             machine,
             policy,
+            obs,
             cfg,
             acct: CostAccounting::default(),
             wall_ns: 0.0,
             app_access_ns: 0.0,
             accesses: 0,
+            sim_events: 0,
             next_tick,
             next_snapshot,
             rss_peak: 0,
@@ -214,6 +244,7 @@ impl<P: TieringPolicy> Simulation<P> {
                 start_fast_hits: 0,
                 start_total_hits: 0,
             },
+            wcol,
         }
     }
 
@@ -227,13 +258,30 @@ impl<P: TieringPolicy> Simulation<P> {
         &self.policy
     }
 
+    /// Read access to the observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// Consumes the simulation, returning the observer (for export).
+    pub fn into_observer(self) -> O {
+        self.obs
+    }
+
     fn ops<'a>(
         machine: &'a mut Machine,
         acct: &'a mut CostAccounting,
+        obs: &'a mut O,
         sink: CostSink,
         now: f64,
     ) -> PolicyOps<'a> {
-        PolicyOps::new(machine, acct, sink, now)
+        if obs.enabled() {
+            PolicyOps::with_observer(machine, acct, sink, now, Some(obs as &mut dyn Observer))
+        } else {
+            // NopObserver resolves here at compile time: no dyn pointer is
+            // ever attached, keeping the untraced path identical to PR-1.
+            PolicyOps::new(machine, acct, sink, now)
+        }
     }
 
     fn threads(&self) -> f64 {
@@ -244,6 +292,7 @@ impl<P: TieringPolicy> Simulation<P> {
         let mut ops = Self::ops(
             &mut self.machine,
             &mut self.acct,
+            &mut self.obs,
             CostSink::App,
             self.wall_ns,
         );
@@ -259,6 +308,7 @@ impl<P: TieringPolicy> Simulation<P> {
                 let mut ops = Self::ops(
                     &mut self.machine,
                     &mut self.acct,
+                    &mut self.obs,
                     CostSink::App,
                     self.wall_ns,
                 );
@@ -304,9 +354,11 @@ impl<P: TieringPolicy> Simulation<P> {
                 Some((_, PageSize::Huge)) if vpage.is_huge_aligned() => {
                     let cost = self.machine.unmap_and_free(vpage, PageSize::Huge)?;
                     self.acct.app_extra_ns += cost;
+                    self.emit_unmap_shootdown(vpage);
                     let mut ops = Self::ops(
                         &mut self.machine,
                         &mut self.acct,
+                        &mut self.obs,
                         CostSink::App,
                         self.wall_ns,
                     );
@@ -316,9 +368,11 @@ impl<P: TieringPolicy> Simulation<P> {
                 Some((_, PageSize::Base)) => {
                     let cost = self.machine.unmap_and_free(vpage, PageSize::Base)?;
                     self.acct.app_extra_ns += cost;
+                    self.emit_unmap_shootdown(vpage);
                     let mut ops = Self::ops(
                         &mut self.machine,
                         &mut self.acct,
+                        &mut self.obs,
                         CostSink::App,
                         self.wall_ns,
                     );
@@ -332,6 +386,20 @@ impl<P: TieringPolicy> Simulation<P> {
             }
         }
         Ok(())
+    }
+
+    /// Traces the TLB shootdown a workload unmap performed.
+    #[inline]
+    fn emit_unmap_shootdown(&mut self, vpage: VirtPage) {
+        if self.obs.enabled() {
+            self.obs.record(Event::new(
+                self.wall_ns,
+                EventKind::TlbShootdown {
+                    vpage: vpage.0,
+                    cause: ShootdownCause::Unmap,
+                },
+            ));
+        }
     }
 
     fn handle_access(&mut self, access: Access) -> SimResult<()> {
@@ -354,6 +422,7 @@ impl<P: TieringPolicy> Simulation<P> {
             let mut ops = Self::ops(
                 &mut self.machine,
                 &mut self.acct,
+                &mut self.obs,
                 CostSink::App,
                 self.wall_ns,
             );
@@ -363,6 +432,7 @@ impl<P: TieringPolicy> Simulation<P> {
             let mut ops = Self::ops(
                 &mut self.machine,
                 &mut self.acct,
+                &mut self.obs,
                 CostSink::Daemon,
                 self.wall_ns,
             );
@@ -379,7 +449,13 @@ impl<P: TieringPolicy> Simulation<P> {
     fn run_due_ticks(&mut self) {
         while self.wall_ns >= self.next_tick {
             let now = self.next_tick;
-            let mut ops = Self::ops(&mut self.machine, &mut self.acct, CostSink::Daemon, now);
+            let mut ops = Self::ops(
+                &mut self.machine,
+                &mut self.acct,
+                &mut self.obs,
+                CostSink::Daemon,
+                now,
+            );
             self.policy.tick(&mut ops);
             self.next_tick += self.cfg.tick_interval_ns;
         }
@@ -435,17 +511,42 @@ impl<P: TieringPolicy> Simulation<P> {
         };
     }
 
+    /// Closes the current telemetry window at the present cumulative state
+    /// and notifies the observer.
+    fn cut_telemetry_window(&mut self) {
+        let mut gauges = Vec::new();
+        self.policy.timeline(&mut gauges);
+        let mut hist_bins = Vec::new();
+        self.policy.histogram_bins(&mut hist_bins);
+        let sample = self.wcol.close(WindowCut {
+            events: self.sim_events,
+            wall_ns: self.wall_ns,
+            accesses: self.accesses,
+            tier_hits: &self.machine.stats.tier_hits,
+            migrated_bytes: self.machine.stats.migration.migrated_bytes,
+            gauges,
+            hist_bins,
+        });
+        self.obs.on_window(sample);
+    }
+
     /// Runs the workload to completion (or `max_accesses`) and reports.
     /// The simulation (machine and policy) remains inspectable afterwards.
     pub fn run(&mut self, workload: &mut dyn AccessStream) -> SimResult<RunReport> {
         let host_start = std::time::Instant::now();
-        let mut sim_events = 0u64;
+        let events_at_start = self.sim_events;
         {
-            let mut ops = Self::ops(&mut self.machine, &mut self.acct, CostSink::Daemon, 0.0);
+            let mut ops = Self::ops(
+                &mut self.machine,
+                &mut self.acct,
+                &mut self.obs,
+                CostSink::Daemon,
+                0.0,
+            );
             self.policy.init(&mut ops);
         }
         while let Some(ev) = workload.next_event() {
-            sim_events += 1;
+            self.sim_events += 1;
             match ev {
                 WorkloadEvent::Access(a) => self.handle_access(a)?,
                 WorkloadEvent::Alloc { addr, bytes, thp } => self.handle_alloc(addr, bytes, thp)?,
@@ -458,6 +559,9 @@ impl<P: TieringPolicy> Simulation<P> {
                 self.close_window();
                 self.next_snapshot = self.wall_ns + self.cfg.timeline_interval_ns;
             }
+            if self.wcol.due(self.sim_events) {
+                self.cut_telemetry_window();
+            }
             if let Some(max) = self.cfg.max_accesses {
                 if self.accesses >= max {
                     break;
@@ -466,6 +570,9 @@ impl<P: TieringPolicy> Simulation<P> {
             self.rss_peak = self.rss_peak.max(self.machine.rss_bytes());
         }
         self.close_window();
+        if self.wcol.has_partial(self.sim_events) {
+            self.cut_telemetry_window();
+        }
 
         Ok(RunReport {
             workload: workload.name().to_string(),
@@ -481,7 +588,8 @@ impl<P: TieringPolicy> Simulation<P> {
             rss_peak_bytes: self.rss_peak.max(self.machine.rss_bytes()),
             rss_final_bytes: self.machine.rss_bytes(),
             timeline: std::mem::take(&mut self.timeline),
-            sim_events,
+            windows: self.wcol.samples().to_vec(),
+            sim_events: self.sim_events - events_at_start,
             host_elapsed_ns: host_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         })
     }

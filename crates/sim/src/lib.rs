@@ -26,6 +26,8 @@
 //! assert_eq!(out.tier, TierId::CAPACITY);
 //! ```
 
+pub use memtis_obs as obs;
+
 pub mod access;
 pub mod addr;
 pub mod cache;
@@ -58,4 +60,8 @@ pub mod prelude {
     };
     pub use crate::stats::{MachineStats, MigrationStats};
     pub use crate::util::{DetHashMap, DetHashSet};
+    pub use memtis_obs::{
+        Event, EventKind, MigrationFailure, NopObserver, Observer, ShootdownCause, ThresholdCause,
+        TracingObserver, WindowCollector, WindowCut, WindowSample,
+    };
 }

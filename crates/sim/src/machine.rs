@@ -39,6 +39,8 @@ pub struct MigrateOutcome {
     pub from: TierId,
     /// Tier the page now resides on.
     pub to: TierId,
+    /// Bytes copied by the operation.
+    pub bytes: u64,
 }
 
 /// The simulated machine.
@@ -416,8 +418,19 @@ impl Machine {
     ///
     /// For a huge mapping, `vpage` must be 2 MiB-aligned and the whole page
     /// moves. Fails with `OutOfMemory` if `dst` has no free frame (callers
-    /// demote first to make room).
+    /// demote first to make room). Failed attempts are counted in
+    /// [`crate::stats::MigrationStats::failed`].
     pub fn migrate(&mut self, vpage: VirtPage, dst: TierId) -> SimResult<MigrateOutcome> {
+        match self.migrate_inner(vpage, dst) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.stats.migration.failed += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn migrate_inner(&mut self, vpage: VirtPage, dst: TierId) -> SimResult<MigrateOutcome> {
         let tr = self.pt.translate(vpage).ok_or(SimError::NotMapped(vpage))?;
         if tr.size == PageSize::Huge && !vpage.is_huge_aligned() {
             return Err(SimError::Unaligned(vpage));
@@ -459,6 +472,7 @@ impl Machine {
             cost_ns: cost,
             from: src,
             to: dst,
+            bytes,
         })
     }
 
@@ -499,8 +513,19 @@ impl Machine {
     }
 
     /// Collapses 512 base mappings at `vpage` into one huge page on `tier`,
-    /// allocating a fresh huge frame and copying (khugepaged-style).
+    /// allocating a fresh huge frame and copying (khugepaged-style). Failed
+    /// attempts are counted in [`crate::stats::MigrationStats::failed`].
     pub fn collapse_huge(&mut self, vpage: VirtPage, tier: TierId) -> SimResult<MigrateOutcome> {
+        match self.collapse_huge_inner(vpage, tier) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.stats.migration.failed += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn collapse_huge_inner(&mut self, vpage: VirtPage, tier: TierId) -> SimResult<MigrateOutcome> {
         if !vpage.is_huge_aligned() {
             return Err(SimError::Unaligned(vpage));
         }
@@ -531,6 +556,7 @@ impl Machine {
             cost_ns: cost,
             from: src,
             to: tier,
+            bytes,
         })
     }
 }

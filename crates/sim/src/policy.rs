@@ -11,9 +11,10 @@
 
 use crate::access::{Access, AccessOutcome};
 use crate::addr::{PageSize, TierId, VirtPage};
-use crate::error::SimResult;
+use crate::error::{SimError, SimResult};
 use crate::machine::{Machine, MigrateOutcome, SplitOutcome};
 use crate::page_table::EntryMut;
+use memtis_obs::{Event, EventKind, MigrationFailure, Observer, ShootdownCause};
 
 /// Cost of visiting one page-table entry during a scan (ns).
 pub const SCAN_ENTRY_NS: f64 = 5.0;
@@ -63,10 +64,12 @@ pub struct PolicyOps<'a> {
     acct: &'a mut CostAccounting,
     sink: CostSink,
     now_ns: f64,
+    obs: Option<&'a mut dyn Observer>,
 }
 
 impl<'a> PolicyOps<'a> {
-    /// Creates a handle; used by the driver (and tests).
+    /// Creates a handle with no observer attached; used by the driver (and
+    /// tests).
     pub fn new(
         machine: &'a mut Machine,
         acct: &'a mut CostAccounting,
@@ -78,6 +81,45 @@ impl<'a> PolicyOps<'a> {
             acct,
             sink,
             now_ns,
+            obs: None,
+        }
+    }
+
+    /// Creates a handle that routes trace events to `obs`.
+    pub fn with_observer(
+        machine: &'a mut Machine,
+        acct: &'a mut CostAccounting,
+        sink: CostSink,
+        now_ns: f64,
+        obs: Option<&'a mut dyn Observer>,
+    ) -> Self {
+        PolicyOps {
+            machine,
+            acct,
+            sink,
+            now_ns,
+            obs,
+        }
+    }
+
+    /// Whether an enabled observer is attached. Emission sites check this
+    /// before building an event, so untraced runs skip the construction.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        match &self.obs {
+            Some(o) => o.enabled(),
+            None => false,
+        }
+    }
+
+    /// Records a trace event at the current simulated time. No-op without
+    /// an enabled observer.
+    #[inline]
+    pub fn emit(&mut self, kind: EventKind) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            if o.enabled() {
+                o.record(Event::new(self.now_ns, kind));
+            }
         }
     }
 
@@ -104,11 +146,48 @@ impl<'a> PolicyOps<'a> {
         }
     }
 
-    /// Migrates a page; the cost is charged to the current sink.
+    /// Migrates a page; the cost is charged to the current sink. Success
+    /// traces a `Promotion`/`Demotion` (plus the migration's TLB shootdown);
+    /// failure traces a `MigrationFailed` with the mapped cause.
     pub fn migrate(&mut self, vpage: VirtPage, dst: TierId) -> SimResult<MigrateOutcome> {
-        let out = self.machine.migrate(vpage, dst)?;
-        self.charge(out.cost_ns);
-        Ok(out)
+        match self.machine.migrate(vpage, dst) {
+            Ok(out) => {
+                self.charge(out.cost_ns);
+                if self.tracing() {
+                    let kind = if out.to.0 < out.from.0 {
+                        EventKind::Promotion {
+                            vpage: vpage.0,
+                            from: out.from.0,
+                            to: out.to.0,
+                            bytes: out.bytes,
+                        }
+                    } else {
+                        EventKind::Demotion {
+                            vpage: vpage.0,
+                            from: out.from.0,
+                            to: out.to.0,
+                            bytes: out.bytes,
+                        }
+                    };
+                    self.emit(kind);
+                    self.emit(EventKind::TlbShootdown {
+                        vpage: vpage.0,
+                        cause: ShootdownCause::Migration,
+                    });
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                if self.tracing() {
+                    self.emit(EventKind::MigrationFailed {
+                        vpage: vpage.0,
+                        to: dst.0,
+                        cause: failure_cause(&e),
+                    });
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Splits a huge page; the cost is charged to the current sink.
@@ -119,14 +198,66 @@ impl<'a> PolicyOps<'a> {
     ) -> SimResult<SplitOutcome> {
         let out = self.machine.split_huge(vpage, free_zero_subpages)?;
         self.charge(out.cost_ns);
+        if self.tracing() {
+            let tier = self.machine.locate(vpage).map(|(t, _)| t.0).unwrap_or(0);
+            self.emit(EventKind::Split {
+                vpage: vpage.0,
+                tier,
+                zero_subpages_freed: out.zero_subpages_freed,
+            });
+            self.emit(EventKind::TlbShootdown {
+                vpage: vpage.0,
+                cause: ShootdownCause::Split,
+            });
+        }
         Ok(out)
     }
 
     /// Collapses 512 base pages into a huge page on `tier`; cost charged.
     pub fn collapse_huge(&mut self, vpage: VirtPage, tier: TierId) -> SimResult<MigrateOutcome> {
-        let out = self.machine.collapse_huge(vpage, tier)?;
-        self.charge(out.cost_ns);
-        Ok(out)
+        match self.machine.collapse_huge(vpage, tier) {
+            Ok(out) => {
+                self.charge(out.cost_ns);
+                if self.tracing() {
+                    self.emit(EventKind::Collapse {
+                        vpage: vpage.0,
+                        tier: out.to.0,
+                    });
+                    self.emit(EventKind::TlbShootdown {
+                        vpage: vpage.0,
+                        cause: ShootdownCause::Collapse,
+                    });
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                if self.tracing() {
+                    self.emit(EventKind::MigrationFailed {
+                        vpage: vpage.0,
+                        to: tier.0,
+                        cause: failure_cause(&e),
+                    });
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Records that a queued migration candidate was dropped at
+    /// re-validation (the page was freed, reclassified, or already moved
+    /// since it was enqueued). Counts into
+    /// [`crate::stats::MigrationStats::cancelled`] unconditionally — traced
+    /// and untraced runs keep identical stats — and traces a
+    /// `MigrationFailed { cause: Cancelled }` event.
+    pub fn cancel_migration(&mut self, vpage: VirtPage, dst: TierId) {
+        self.machine.stats.migration.cancelled += 1;
+        if self.tracing() {
+            self.emit(EventKind::MigrationFailed {
+                vpage: vpage.0,
+                to: dst.0,
+                cause: MigrationFailure::Cancelled,
+            });
+        }
     }
 
     /// Arms a NUMA-hint fault on the mapping covering `vpage`.
@@ -159,6 +290,17 @@ impl<'a> PolicyOps<'a> {
     /// Capacity of `tier` in bytes.
     pub fn capacity_bytes(&self, tier: TierId) -> u64 {
         self.machine.capacity_bytes(tier)
+    }
+}
+
+/// Maps a machine error to the traced migration-failure cause.
+fn failure_cause(e: &SimError) -> MigrationFailure {
+    match e {
+        SimError::OutOfMemory { .. } | SimError::GlobalOutOfMemory => MigrationFailure::OutOfMemory,
+        SimError::NotMapped(_) | SimError::WrongPageSize { .. } => MigrationFailure::NotMapped,
+        SimError::Unaligned(_) => MigrationFailure::Unaligned,
+        SimError::SameTier(_) => MigrationFailure::SameTier,
+        _ => MigrationFailure::Other,
     }
 }
 
@@ -221,6 +363,12 @@ pub trait TieringPolicy {
     /// Policy-specific timeline metrics, sampled by the driver each snapshot
     /// (e.g. MEMTIS hot/warm/cold set sizes for Fig. 9).
     fn timeline(&self, _out: &mut Vec<(&'static str, f64)>) {}
+
+    /// Classification-histogram bin occupancy (4 KiB pages per bin),
+    /// captured into each telemetry window. Policies without an access
+    /// histogram — everything except MEMTIS — leave `out` empty; this
+    /// default is the shared observability surface all baselines inherit.
+    fn histogram_bins(&self, _out: &mut Vec<u64>) {}
 }
 
 impl TieringPolicy for Box<dyn TieringPolicy> {
@@ -253,6 +401,9 @@ impl TieringPolicy for Box<dyn TieringPolicy> {
     }
     fn timeline(&self, out: &mut Vec<(&'static str, f64)>) {
         (**self).timeline(out)
+    }
+    fn histogram_bins(&self, out: &mut Vec<u64>) {
+        (**self).histogram_bins(out)
     }
 }
 
@@ -325,6 +476,53 @@ mod tests {
         ops.scan_entries(|_, _| n += 1);
         assert_eq!(n, 10);
         assert_eq!(acct.daemon_ns, 10.0 * SCAN_ENTRY_NS);
+    }
+
+    #[test]
+    fn failed_and_cancelled_migrations_are_counted() {
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 4 * HUGE_PAGE_SIZE));
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+            .unwrap();
+        m.alloc_and_map(VirtPage(512), PageSize::Huge, TierId::CAPACITY)
+            .unwrap();
+        let mut acct = CostAccounting::default();
+        let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+        // Fast tier is full: the machine rejects and counts the attempt.
+        assert!(ops.migrate(VirtPage(512), TierId::FAST).is_err());
+        // A stale queue entry the policy drops before calling the machine.
+        ops.cancel_migration(VirtPage(513), TierId::FAST);
+        assert_eq!(m.stats.migration.failed, 1);
+        assert_eq!(m.stats.migration.cancelled, 1);
+    }
+
+    #[test]
+    fn migration_failures_emit_events_when_traced() {
+        use memtis_obs::TracingObserver;
+        let mut m = Machine::new(MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 4 * HUGE_PAGE_SIZE));
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+            .unwrap();
+        m.alloc_and_map(VirtPage(512), PageSize::Huge, TierId::CAPACITY)
+            .unwrap();
+        let mut acct = CostAccounting::default();
+        let mut obs = TracingObserver::new();
+        {
+            let mut ops =
+                PolicyOps::with_observer(&mut m, &mut acct, CostSink::Daemon, 0.0, Some(&mut obs));
+            assert!(ops.migrate(VirtPage(512), TierId::FAST).is_err());
+            ops.cancel_migration(VirtPage(513), TierId::FAST);
+        }
+        let causes: Vec<MigrationFailure> = obs
+            .ring
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MigrationFailed { cause, .. } => Some(cause),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            causes,
+            vec![MigrationFailure::OutOfMemory, MigrationFailure::Cancelled]
+        );
     }
 
     #[test]

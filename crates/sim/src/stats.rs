@@ -17,6 +17,12 @@ pub struct MigrationStats {
     pub collapses: u64,
     /// Subpages freed as all-zero during splits.
     pub zero_subpages_freed: u64,
+    /// Migration/collapse attempts that failed in the machine (destination
+    /// out of memory, stale mapping, misalignment, same-tier target).
+    pub failed: u64,
+    /// Queued migrations dropped by the policy at re-validation (the page
+    /// was freed, reclassified, or already moved since it was enqueued).
+    pub cancelled: u64,
 }
 
 impl MigrationStats {

@@ -23,5 +23,5 @@ pub mod ptscan;
 pub use damon::{Damon, DamonConfig, RegionSnapshot};
 pub use hintfault::HintFaultSampler;
 pub use lru2q::{AccessResult, ListKind, Lru2Q};
-pub use pebs::{PebsSample, PebsSampler, PeriodAdjust, PeriodController};
+pub use pebs::{PebsSample, PebsSampler, PebsSnapshot, PeriodAdjust, PeriodController};
 pub use ptscan::{scan_and_clear, ScanRecord, ScanStats};

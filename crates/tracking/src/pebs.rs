@@ -50,6 +50,21 @@ impl Default for PebsSampler {
     }
 }
 
+/// Point-in-time view of a sampler's counters and periods, suitable for
+/// telemetry export (the `SampleBatch` trace event and the per-window
+/// `load_period` gauge are derived from these numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PebsSnapshot {
+    /// Current load-miss sampling period.
+    pub load_period: u64,
+    /// Current store sampling period.
+    pub store_period: u64,
+    /// Total samples emitted since creation.
+    pub samples: u64,
+    /// Total qualifying events observed since creation.
+    pub events: u64,
+}
+
 impl PebsSampler {
     /// Creates a sampler with the given periods (events per sample).
     pub fn new(load_period: u64, store_period: u64) -> Self {
@@ -71,6 +86,16 @@ impl PebsSampler {
     /// Current store period.
     pub fn store_period(&self) -> u64 {
         self.store_period
+    }
+
+    /// Captures the current counters and periods for telemetry.
+    pub fn snapshot(&self) -> PebsSnapshot {
+        PebsSnapshot {
+            load_period: self.load_period,
+            store_period: self.store_period,
+            samples: self.samples,
+            events: self.events,
+        }
     }
 
     /// Reconfigures the periods (`__perf_event_period`). Takes effect at the
@@ -248,6 +273,19 @@ mod tests {
         assert_eq!(got, 10);
         assert_eq!(s.samples, 10);
         assert_eq!(s.events, 40);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters_and_periods() {
+        let mut s = PebsSampler::new(2, 1000);
+        for i in 0..4u64 {
+            let _ = s.observe(&Access::load(i * 64), &outcome(true));
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.load_period, 2);
+        assert_eq!(snap.store_period, 1000);
+        assert_eq!(snap.samples, 2);
+        assert_eq!(snap.events, 4);
     }
 
     #[test]
