@@ -3,7 +3,9 @@
 //! ```text
 //! memtis run  <benchmark> [--ratio 1:8] [--policy memtis] [--cxl] [--accesses N]
 //!             [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
+//!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]
 //! memtis compare <benchmark> [--ratio 1:8] [--cxl] [--accesses N]
+//!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]
 //! memtis list
 //! ```
 //!
@@ -11,9 +13,9 @@
 //! every system on one benchmark; `list` shows benchmarks and policies.
 
 use memtis_bench::{
-    access_budget, driver_config_with_window, machine_for, normalized, run_baseline,
-    run_cell_traced, run_system, write_trace, CapacityKind, Ratio, System, Table, TraceFormat,
-    DEFAULT_WINDOW_EVENTS, SEED,
+    access_budget, driver_config, driver_config_with_window, machine_for, normalized, run_baseline,
+    run_cell_traced, run_system_with_driver, write_trace, CapacityKind, Ratio, System, Table,
+    TraceFormat, DEFAULT_WINDOW_EVENTS, SEED,
 };
 use memtis_workloads::{Benchmark, Scale};
 
@@ -58,6 +60,19 @@ struct Opts {
     trace_out: Option<String>,
     trace_format: TraceFormat,
     window: u64,
+    migration_bw: Option<f64>,
+    migration_queue: Option<usize>,
+}
+
+impl Opts {
+    /// The default driver config with this invocation's migration
+    /// overrides applied.
+    fn driver(&self) -> memtis_sim::prelude::DriverConfig {
+        let mut d = driver_config();
+        d.migration_bw = self.migration_bw;
+        d.migration_queue = self.migration_queue;
+        d
+    }
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -71,6 +86,8 @@ fn parse_opts(args: &[String]) -> Opts {
         trace_out: None,
         trace_format: TraceFormat::Jsonl,
         window: DEFAULT_WINDOW_EVENTS,
+        migration_bw: None,
+        migration_queue: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -117,6 +134,14 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
                 i += 2;
             }
+            "--migration-bw" => {
+                o.migration_bw = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--migration-queue" => {
+                o.migration_queue = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
             _ => i += 1,
         }
     }
@@ -126,7 +151,8 @@ fn parse_opts(args: &[String]) -> Opts {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  memtis run <benchmark> [--ratio F:C] [--policy NAME] [--cxl] [--accesses N]\n    \
-         [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]\n  \
+         [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]\n    \
+         [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]\n  \
          memtis compare <benchmark> [--ratio F:C] [--cxl] [--accesses N]\n  memtis list"
     );
     std::process::exit(2);
@@ -168,19 +194,29 @@ fn main() {
             let r = match &o.trace_out {
                 Some(path) => {
                     let machine = machine_for(bench, Scale::DEFAULT, o.ratio, o.kind);
+                    let mut driver = driver_config_with_window(o.window);
+                    driver.migration_bw = o.migration_bw;
+                    driver.migration_queue = o.migration_queue;
                     let (r, obs) = run_cell_traced(
                         bench,
                         Scale::DEFAULT,
                         machine,
                         o.policy.build(),
-                        driver_config_with_window(o.window),
+                        driver,
                         access_budget(),
                         SEED,
                     );
                     write_trace(path, o.trace_format, &obs, &r.windows);
                     r
                 }
-                None => run_system(bench, Scale::DEFAULT, o.ratio, o.kind, o.policy),
+                None => run_system_with_driver(
+                    bench,
+                    Scale::DEFAULT,
+                    o.ratio,
+                    o.kind,
+                    o.policy,
+                    o.driver(),
+                ),
             };
             println!(
                 "{} on {} at {} ({}):",
@@ -252,7 +288,8 @@ fn main() {
             ]);
             let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
             for sys in System::FIG5 {
-                let r = run_system(bench, Scale::DEFAULT, o.ratio, o.kind, sys);
+                let r =
+                    run_system_with_driver(bench, Scale::DEFAULT, o.ratio, o.kind, sys, o.driver());
                 let n = normalized(&base, &r);
                 rows.push((
                     n,

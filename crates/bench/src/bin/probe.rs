@@ -4,6 +4,7 @@
 //! ```text
 //! probe [<benchmark>] [<ratio>] [<system>|all] [--test-scale]
 //!       [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
+//!       [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]
 //! ```
 //!
 //! With `--trace-out`, the first selected system's run is re-executed under
@@ -11,7 +12,8 @@
 
 use memtis_bench::{
     access_budget, driver_config_with_window, machine_for, run_baseline, run_cell_traced,
-    run_system, write_trace, CapacityKind, Ratio, System, TraceFormat, DEFAULT_WINDOW_EVENTS, SEED,
+    run_system_with_driver, write_trace, CapacityKind, Ratio, System, TraceFormat,
+    DEFAULT_WINDOW_EVENTS, SEED,
 };
 use memtis_workloads::{Benchmark, Scale};
 
@@ -62,6 +64,8 @@ fn main() {
     let mut trace_format = TraceFormat::Jsonl;
     let mut window = DEFAULT_WINDOW_EVENTS;
     let mut scale = Scale::DEFAULT;
+    let mut migration_bw: Option<f64> = None;
+    let mut migration_queue: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -89,6 +93,14 @@ fn main() {
             "--test-scale" => {
                 scale = Scale::TEST;
                 i += 1;
+            }
+            "--migration-bw" => {
+                migration_bw = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--migration-queue" => {
+                migration_queue = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
             }
             other => {
                 positional.push(other.to_string());
@@ -122,6 +134,9 @@ fn main() {
             .filter(|s| s.name().eq_ignore_ascii_case(name))
             .collect(),
     };
+    let mut driver = memtis_bench::driver_config();
+    driver.migration_bw = migration_bw;
+    driver.migration_queue = migration_queue;
     let base = run_baseline(bench, scale, CapacityKind::Nvm);
     println!(
         "baseline all-NVM: wall={:.2}ms thpt={:.1}M/s llc_miss={:.3}",
@@ -130,7 +145,7 @@ fn main() {
         base.llc.miss_ratio()
     );
     for &sys in &systems {
-        let r = run_system(bench, scale, ratio, CapacityKind::Nvm, sys);
+        let r = run_system_with_driver(bench, scale, ratio, CapacityKind::Nvm, sys, driver.clone());
         println!(
             "{:<12} norm={:.3} wall={:.2}ms app_extra={:.2}ms daemon={:.2}ms dcores={:.2} \
              fastHR={:.3} promo4k={} demo4k={} splits={} shootdowns={} hintfaults={} rss={}MB \
@@ -160,12 +175,15 @@ fn main() {
     if let Some(path) = trace_out {
         let sys = systems.first().copied().unwrap_or(System::Memtis);
         let machine = machine_for(bench, scale, ratio, CapacityKind::Nvm);
+        let mut traced_driver = driver_config_with_window(window);
+        traced_driver.migration_bw = migration_bw;
+        traced_driver.migration_queue = migration_queue;
         let (report, obs) = run_cell_traced(
             bench,
             scale,
             machine,
             sys.build(),
-            driver_config_with_window(window),
+            traced_driver,
             access_budget(),
             SEED,
         );

@@ -3,7 +3,8 @@
 //! ```text
 //! sweep [--jobs N] [--systems memtis,tpp,...] [--benches roms,btree,...]
 //!       [--ratios 1:8,1:16] [--seeds K] [--accesses N] [--window EVENTS]
-//!       [--cxl] [--test-scale]
+//!       [--cxl] [--test-scale] [--migration-bw BYTES_PER_NS]
+//!       [--migration-queue DEPTH]
 //! ```
 //!
 //! Runs the (policy × workload × ratio × seed) matrix across worker
@@ -67,7 +68,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep [--jobs N] [--systems a,b,..] [--benches x,y,..] \
          [--ratios F:C,..] [--seeds K] [--accesses N] [--window EVENTS] \
-         [--cxl] [--test-scale]"
+         [--cxl] [--test-scale] [--migration-bw BYTES_PER_NS] \
+         [--migration-queue DEPTH]"
     );
     std::process::exit(2);
 }
@@ -87,6 +89,8 @@ fn main() {
     let mut scale = Scale::DEFAULT;
     let mut accesses = access_budget();
     let mut window_events = DEFAULT_WINDOW_EVENTS;
+    let mut migration_bw: Option<f64> = None;
+    let mut migration_queue: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -125,6 +129,14 @@ fn main() {
                 window_events = value(i + 1).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--migration-bw" => {
+                migration_bw = Some(value(i + 1).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--migration-queue" => {
+                migration_queue = Some(value(i + 1).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
             "--cxl" => {
                 kind = CapacityKind::Cxl;
                 i += 1;
@@ -157,6 +169,8 @@ fn main() {
         scale,
         accesses,
         window_events,
+        migration_bw,
+        migration_queue,
     };
     let result = run_sweep(&cells, &cfg);
     emit_sweep("sweep", &result);

@@ -126,6 +126,8 @@ pub fn driver_config_with_window(window_events: u64) -> DriverConfig {
         timeline_interval_ns: 150_000.0,
         max_accesses: None,
         window_events,
+        migration_bw: None,
+        migration_queue: None,
     }
 }
 
@@ -348,13 +350,26 @@ pub fn run_system(
     kind: CapacityKind,
     system: System,
 ) -> RunReport {
+    run_system_with_driver(bench, scale, ratio, kind, system, driver_config())
+}
+
+/// [`run_system`] with an explicit driver configuration (e.g. migration
+/// bandwidth/queue overrides from the CLI).
+pub fn run_system_with_driver(
+    bench: Benchmark,
+    scale: Scale,
+    ratio: Ratio,
+    kind: CapacityKind,
+    system: System,
+    driver: DriverConfig,
+) -> RunReport {
     let machine = machine_for(bench, scale, ratio, kind);
     run_cell(
         bench,
         scale,
         machine,
         system.build(),
-        driver_config(),
+        driver,
         access_budget(),
     )
 }

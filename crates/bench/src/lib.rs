@@ -14,8 +14,8 @@ pub mod sweep;
 pub use harness::{
     access_budget, driver_config, driver_config_with_window, geomean, machine_all_fast,
     machine_for, normalized, run_baseline, run_cell, run_cell_seeded, run_cell_traced, run_sim,
-    run_sim_traced, run_system, write_trace, CapacityKind, Ratio, System, TraceFormat,
-    DEFAULT_WINDOW_EVENTS, SEED, TIME_COMPRESSION,
+    run_sim_traced, run_system, run_system_with_driver, write_trace, CapacityKind, Ratio, System,
+    TraceFormat, DEFAULT_WINDOW_EVENTS, SEED, TIME_COMPRESSION,
 };
 pub use plot::{bar, sparkline};
 pub use report::{emit, emit_bench_json, experiments_dir, Table};

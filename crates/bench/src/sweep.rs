@@ -114,6 +114,11 @@ pub struct SweepConfig {
     pub accesses: u64,
     /// Telemetry window length in workload events.
     pub window_events: u64,
+    /// Migration-link bandwidth cap (bytes/ns) applied to every cell;
+    /// `None` keeps instantaneous migration.
+    pub migration_bw: Option<f64>,
+    /// Migration admission-queue depth override applied to every cell.
+    pub migration_queue: Option<usize>,
 }
 
 impl SweepConfig {
@@ -125,6 +130,8 @@ impl SweepConfig {
             scale,
             accesses,
             window_events: DEFAULT_WINDOW_EVENTS,
+            migration_bw: None,
+            migration_queue: None,
         }
     }
 }
@@ -183,12 +190,15 @@ impl SweepResult {
 /// Runs one cell (helper shared by the parallel runner and tests).
 pub fn run_sweep_cell(cell: SweepCell, cfg: &SweepConfig) -> RunReport {
     let machine = machine_for(cell.bench, cfg.scale, cell.ratio, cell.kind);
+    let mut driver = driver_config_with_window(cfg.window_events);
+    driver.migration_bw = cfg.migration_bw;
+    driver.migration_queue = cfg.migration_queue;
     run_cell_seeded(
         cell.bench,
         cfg.scale,
         machine,
         cell.system.build(),
-        driver_config_with_window(cfg.window_events),
+        driver,
         cfg.accesses,
         cell.seed(),
     )
@@ -238,6 +248,8 @@ pub fn sweep_table(result: &SweepResult) -> Table {
         "wall_ms",
         "Macc/s",
         "fast-hit %",
+        "aborted",
+        "inflight_pk",
         "host events/s",
     ]);
     for c in &result.cells {
@@ -254,6 +266,8 @@ pub fn sweep_table(result: &SweepResult) -> Table {
             format!("{:.2}", r.wall_ns / 1e6),
             format!("{:.2}", r.throughput() / 1e6),
             format!("{:.1}", r.stats.fast_tier_hit_ratio() * 100.0),
+            r.stats.migration.aborted.to_string(),
+            r.stats.migration.in_flight_peak.to_string(),
             format!("{:.0}", r.self_events_per_sec()),
         ]);
     }
@@ -347,6 +361,8 @@ mod tests {
             scale: Scale::TEST,
             accesses: 4_000,
             window_events: 1_000,
+            migration_bw: None,
+            migration_queue: None,
         }
     }
 

@@ -64,6 +64,12 @@ pub struct MemtisConfig {
     /// accessed bits give unsampled-but-touched pages a minimal hotness so
     /// demotion prefers the truly idle ones. 0 disables.
     pub hybrid_scan_every_ticks: u32,
+    /// Cancel in-flight promotions whose page cooled below the hot
+    /// threshold before the copy finished (only meaningful when the driver
+    /// runs the asynchronous migration engine). Disabled in the no-cancel
+    /// ablation, which lets stale transfers burn link bandwidth to
+    /// completion.
+    pub cancel_inflight: bool,
 }
 
 impl Default for MemtisConfig {
@@ -90,6 +96,7 @@ impl Default for MemtisConfig {
             max_splits_per_tick: 64,
             max_collapses_per_tick: 4,
             hybrid_scan_every_ticks: 0,
+            cancel_inflight: true,
         }
     }
 }
@@ -137,6 +144,13 @@ impl MemtisConfig {
     /// (in `kmigrated` wakeups).
     pub fn with_hybrid_scan(mut self, every_ticks: u32) -> Self {
         self.hybrid_scan_every_ticks = every_ticks;
+        self
+    }
+
+    /// The no-cancel ablation: in-flight promotions of pages that cooled
+    /// run to completion instead of being aborted.
+    pub fn without_inflight_cancel(mut self) -> Self {
+        self.cancel_inflight = false;
         self
     }
 }

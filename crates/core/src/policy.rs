@@ -15,7 +15,8 @@ use crate::regions::RegionTable;
 use crate::threshold::{adapt, Thresholds};
 use memtis_sim::prelude::{
     Access, AccessOutcome, EventKind, PageSize, PolicyDescriptor, PolicyOps, SimError,
-    ThresholdCause, TierId, TieringPolicy, VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES,
+    ThresholdCause, TierId, TieringPolicy, TransferEnd, TransferId, VirtPage, HUGE_PAGE_SIZE,
+    NR_SUBPAGES,
 };
 use memtis_tracking::pebs::{PebsSampler, PeriodController};
 use std::collections::VecDeque;
@@ -63,6 +64,9 @@ pub struct MemtisStats {
     /// Pages whose hotness was supplemented by the hybrid PT scan (§8
     /// extension).
     pub scan_supplements: u64,
+    /// In-flight promotions aborted because the page cooled below the hot
+    /// threshold before the copy finished.
+    pub inflight_cancels: u64,
 }
 
 /// The MEMTIS policy.
@@ -94,6 +98,10 @@ pub struct MemtisPolicy {
     demote_warm: VecDeque<VirtPage>,
     split_queue: VecDeque<VirtPage>,
     collapse_queue: VecDeque<VirtPage>,
+    /// Transfers this policy admitted to the asynchronous migration engine
+    /// and has not yet seen end: `(page, transfer, destination)`. Empty in
+    /// unlimited-bandwidth mode, where every migration completes in place.
+    in_flight: Vec<(VirtPage, TransferId, TierId)>,
     skew_buckets: Vec<Vec<VirtPage>>,
     benefit_streak: u32,
     ticks_since_refill: u32,
@@ -133,6 +141,7 @@ impl MemtisPolicy {
             demote_warm: VecDeque::new(),
             split_queue: VecDeque::new(),
             collapse_queue: VecDeque::new(),
+            in_flight: Vec::new(),
             skew_buckets: vec![Vec::new(); SKEW_BUCKETS],
             benefit_streak: 0,
             ticks_since_refill: u32::MAX / 2,
@@ -609,15 +618,49 @@ impl MemtisPolicy {
                 }
             }
             match ops.migrate(vpage, TierId::CAPACITY) {
-                Ok(_) => {
+                Ok(h) => {
+                    // Committed bandwidth counts against the budget whether
+                    // the copy completed in place or is still in flight.
                     moved += meta_size_bytes(meta);
-                    self.stats.demoted_4k += meta.pages_4k();
+                    if h.is_done() {
+                        self.stats.demoted_4k += meta.pages_4k();
+                    } else if let Some(id) = h.transfer_id() {
+                        self.in_flight.push((vpage, id, TierId::CAPACITY));
+                    }
                 }
-                Err(SimError::OutOfMemory { .. }) => break,
+                Err(SimError::OutOfMemory { .. }) | Err(SimError::QueueFull) => break,
                 Err(_) => continue,
             }
         }
         moved
+    }
+
+    /// Aborts in-flight promotions whose page is no longer hot: the copy
+    /// would land a cooled page in the fast tier while burning link
+    /// bandwidth that hotter transfers are queued for. Demotions are never
+    /// cancelled — reclaiming fast-tier space stays worthwhile.
+    fn cancel_cooled_inflight(&mut self, ops: &mut PolicyOps<'_>) {
+        if !self.cfg.cancel_inflight || self.in_flight.is_empty() {
+            return;
+        }
+        let mut keep = Vec::with_capacity(self.in_flight.len());
+        for (vpage, id, dst) in std::mem::take(&mut self.in_flight) {
+            let still_hot = self
+                .pages
+                .get(vpage)
+                .is_some_and(|m| self.thr.is_hot(m.bin as usize));
+            if dst == TierId::FAST && !still_hot {
+                if ops.abort_transfer(id).is_some() {
+                    self.stats.inflight_cancels += 1;
+                }
+                if let Some(meta) = self.pages.get_mut(vpage) {
+                    meta.in_promo = false;
+                }
+            } else {
+                keep.push((vpage, id, dst));
+            }
+        }
+        self.in_flight = keep;
     }
 }
 
@@ -791,6 +834,7 @@ impl TieringPolicy for MemtisPolicy {
         {
             self.hybrid_scan(ops);
         }
+        self.cancel_cooled_inflight(ops);
         let mut budget = self.cfg.migrate_batch_bytes;
 
         // Fast-tier kmigrated: restore the free-space reserve (§4.2.3).
@@ -865,22 +909,56 @@ impl TieringPolicy for MemtisPolicy {
                     break;
                 }
             }
-            match ops.migrate(vpage, TierId::FAST) {
-                Ok(_) => {
-                    let pages = match size {
-                        PageSize::Huge => NR_SUBPAGES,
-                        PageSize::Base => 1,
-                    };
-                    self.stats.promoted_4k += pages;
+            // Hotter pages win the migration link first: the histogram bin
+            // is the arbitration priority.
+            let priority = bin.min(u8::MAX as usize) as u8;
+            match ops.enqueue_migration(vpage, TierId::FAST, priority) {
+                Ok(h) => {
+                    if h.is_done() {
+                        let pages = match size {
+                            PageSize::Huge => NR_SUBPAGES,
+                            PageSize::Base => 1,
+                        };
+                        self.stats.promoted_4k += pages;
+                    } else if let Some(id) = h.transfer_id() {
+                        // Keep the page flagged until the transfer ends so
+                        // samples don't re-enqueue it meanwhile.
+                        let meta = self.pages.get_mut(vpage).expect("present");
+                        meta.in_promo = true;
+                        self.in_flight.push((vpage, id, TierId::FAST));
+                    }
                     budget = budget.saturating_sub(size.bytes());
                 }
-                Err(SimError::OutOfMemory { .. }) => {
+                Err(SimError::OutOfMemory { .. }) | Err(SimError::QueueFull) => {
                     let meta = self.pages.get_mut(vpage).expect("present");
                     meta.in_promo = true;
                     self.promo.push_front(vpage);
                     break;
                 }
                 Err(_) => continue,
+            }
+        }
+    }
+
+    fn on_transfer_end(&mut self, _ops: &mut PolicyOps<'_>, end: &TransferEnd) {
+        let Some(idx) = self.in_flight.iter().position(|&(_, id, _)| id == end.id) else {
+            return;
+        };
+        let (vpage, _, dst) = self.in_flight.swap_remove(idx);
+        if dst == TierId::FAST {
+            if let Some(meta) = self.pages.get_mut(vpage) {
+                meta.in_promo = false;
+            }
+        }
+        if end.aborted.is_none() {
+            let pages = match end.size {
+                PageSize::Huge => NR_SUBPAGES,
+                PageSize::Base => 1,
+            };
+            if end.to == TierId::FAST {
+                self.stats.promoted_4k += pages;
+            } else {
+                self.stats.demoted_4k += pages;
             }
         }
     }
@@ -1125,6 +1203,98 @@ mod tests {
             "demotion should free at least one huge page"
         );
         assert!(p.stats.demoted_4k >= 512);
+    }
+
+    /// Builds a bandwidth-limited machine and a policy with one hot huge
+    /// page in the capacity tier whose promotion is in flight after a tick.
+    fn inflight_promo_env(cfg: MemtisConfig) -> (Machine, CostAccounting, MemtisPolicy) {
+        let mut mc = MachineConfig::dram_nvm(4 * HUGE_PAGE_SIZE, 32 * HUGE_PAGE_SIZE);
+        mc.migration.bandwidth_limit = Some(1.0); // 2 MiB takes ~2 ms.
+        let mut m = Machine::new(mc);
+        let mut acct = CostAccounting::default();
+        let mut p = MemtisPolicy::new(cfg);
+        m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::CAPACITY)
+            .unwrap();
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+            p.on_alloc(&mut ops, VirtPage(0), PageSize::Huge, TierId::CAPACITY);
+        }
+        for i in 0..400u64 {
+            let a = Access::load((i % 512) * 4096);
+            let out = m.access(a).unwrap();
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, i as f64 * 100.0);
+            p.on_access(&mut ops, &a, &out);
+        }
+        {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 1e5);
+            p.tick(&mut ops);
+        }
+        (m, acct, p)
+    }
+
+    #[test]
+    fn bandwidth_limited_promotion_stays_in_flight_until_reported() {
+        let (mut m, mut acct, mut p) = inflight_promo_env(test_cfg());
+        // The promotion was admitted, not completed: the page still reads
+        // from the capacity tier and the policy tracks the transfer.
+        assert_eq!(p.in_flight.len(), 1);
+        assert_eq!(p.stats.promoted_4k, 0);
+        assert_eq!(m.locate(VirtPage(0)).unwrap().0, TierId::CAPACITY);
+        assert!(p.page_meta(VirtPage(0)).unwrap().in_promo);
+        // Drain the copy and deliver the terminal records like the driver.
+        let events = m.pump_transfers(1e10);
+        let ends: Vec<TransferEnd> = events
+            .iter()
+            .filter_map(|e| match e {
+                EngineEvent::Ended(end) => Some(*end),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends.len(), 1);
+        for end in &ends {
+            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 1e10);
+            p.on_transfer_end(&mut ops, end);
+        }
+        assert!(p.in_flight.is_empty());
+        assert_eq!(p.stats.promoted_4k, 512);
+        assert!(!p.page_meta(VirtPage(0)).unwrap().in_promo);
+        assert_eq!(m.locate(VirtPage(0)).unwrap().0, TierId::FAST);
+    }
+
+    #[test]
+    fn cooled_inflight_promotion_is_cancelled_unless_ablated() {
+        for (cancel, expect_cancels) in [(true, 1u64), (false, 0u64)] {
+            let cfg = if cancel {
+                test_cfg()
+            } else {
+                test_cfg().without_inflight_cancel()
+            };
+            let (mut m, mut acct, mut p) = inflight_promo_env(cfg);
+            assert_eq!(p.in_flight.len(), 1);
+            // Cool the page below the hot threshold, then tick: the cancel
+            // sweep runs before any new migration work.
+            let bin = p.page_meta(VirtPage(0)).unwrap().bin as usize;
+            p.thr.hot = bin + 1;
+            assert!(!p.thresholds().is_hot(bin), "page must have cooled");
+            {
+                let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 3e5);
+                p.tick(&mut ops);
+            }
+            assert_eq!(p.stats.inflight_cancels, expect_cancels);
+            if cancel {
+                assert!(p.in_flight.is_empty());
+                assert_eq!(m.stats.migration.aborted, 1);
+                assert!(!p.page_meta(VirtPage(0)).unwrap().in_promo);
+                // The page never reaches the fast tier.
+                let _ = m.pump_transfers(1e10);
+                assert_eq!(m.locate(VirtPage(0)).unwrap().0, TierId::CAPACITY);
+            } else {
+                // Ablation: the stale transfer keeps burning the link and
+                // eventually lands the cooled page in the fast tier.
+                assert_eq!(p.in_flight.len(), 1);
+                assert_eq!(m.stats.migration.aborted, 0);
+            }
+        }
     }
 
     #[test]

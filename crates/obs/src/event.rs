@@ -18,6 +18,12 @@ pub enum MigrationFailure {
     /// A queued migration was dropped at re-validation (stale candidate:
     /// page freed, reclassified, or already moved).
     Cancelled,
+    /// An in-flight transfer exhausted its re-copy budget: stores kept
+    /// dirtying the source page mid-copy.
+    Dirty,
+    /// The mapping changed under an in-flight transfer (unmap, split,
+    /// collapse, or re-allocation), invalidating the copied data.
+    Superseded,
     /// Any other simulator error.
     Other,
 }
@@ -31,6 +37,8 @@ impl MigrationFailure {
             MigrationFailure::Unaligned => "unaligned",
             MigrationFailure::SameTier => "same_tier",
             MigrationFailure::Cancelled => "cancelled",
+            MigrationFailure::Dirty => "dirty",
+            MigrationFailure::Superseded => "superseded",
             MigrationFailure::Other => "other",
         }
     }
@@ -166,6 +174,54 @@ pub enum EventKind {
         /// Why the page did not move.
         cause: MigrationFailure,
     },
+    /// An asynchronous transfer was admitted to the migration engine.
+    MigrationEnqueued {
+        /// Virtual page number (4 KiB granule).
+        vpage: u64,
+        /// Source tier id.
+        from: u8,
+        /// Destination tier id.
+        to: u8,
+        /// Bytes the transfer will copy.
+        bytes: u64,
+        /// Transfers queued behind the engine's links after admission.
+        queue_depth: u64,
+    },
+    /// A queued transfer won its link and began copying.
+    MigrationStarted {
+        /// Virtual page number (4 KiB granule).
+        vpage: u64,
+        /// Source tier id.
+        from: u8,
+        /// Destination tier id.
+        to: u8,
+        /// Bytes being copied.
+        bytes: u64,
+    },
+    /// An in-flight transfer finished its copy and remapped the page.
+    MigrationCompleted {
+        /// Virtual page number (4 KiB granule).
+        vpage: u64,
+        /// Source tier id.
+        from: u8,
+        /// Destination tier id.
+        to: u8,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// An in-flight transfer ended without remapping the page.
+    MigrationAborted {
+        /// Virtual page number (4 KiB granule).
+        vpage: u64,
+        /// Intended destination tier id.
+        to: u8,
+        /// Bytes the transfer was to copy.
+        bytes: u64,
+        /// Copy work discarded, in bytes (whole passes).
+        wasted_bytes: u64,
+        /// Why the transfer died.
+        cause: MigrationFailure,
+    },
 }
 
 impl EventKind {
@@ -181,6 +237,10 @@ impl EventKind {
             EventKind::SampleBatch { .. } => "sample_batch",
             EventKind::TlbShootdown { .. } => "tlb_shootdown",
             EventKind::MigrationFailed { .. } => "migration_failed",
+            EventKind::MigrationEnqueued { .. } => "migration_enqueued",
+            EventKind::MigrationStarted { .. } => "migration_started",
+            EventKind::MigrationCompleted { .. } => "migration_completed",
+            EventKind::MigrationAborted { .. } => "migration_aborted",
         }
     }
 }

@@ -100,6 +100,48 @@ fn push_kind_fields(out: &mut String, kind: &EventKind) {
                 cause.label()
             );
         }
+        EventKind::MigrationEnqueued {
+            vpage,
+            from,
+            to,
+            bytes,
+            queue_depth,
+        } => {
+            let _ = write!(
+                out,
+                r#","vpage":{vpage},"from":{from},"to":{to},"bytes":{bytes},"queue_depth":{queue_depth}"#
+            );
+        }
+        EventKind::MigrationStarted {
+            vpage,
+            from,
+            to,
+            bytes,
+        }
+        | EventKind::MigrationCompleted {
+            vpage,
+            from,
+            to,
+            bytes,
+        } => {
+            let _ = write!(
+                out,
+                r#","vpage":{vpage},"from":{from},"to":{to},"bytes":{bytes}"#
+            );
+        }
+        EventKind::MigrationAborted {
+            vpage,
+            to,
+            bytes,
+            wasted_bytes,
+            cause,
+        } => {
+            let _ = write!(
+                out,
+                r#","vpage":{vpage},"to":{to},"bytes":{bytes},"wasted_bytes":{wasted_bytes},"cause":"{}""#,
+                cause.label()
+            );
+        }
     }
 }
 
@@ -198,7 +240,11 @@ fn perfetto_tid(kind: &EventKind) -> u32 {
         EventKind::Promotion { .. }
         | EventKind::Demotion { .. }
         | EventKind::TlbShootdown { .. }
-        | EventKind::MigrationFailed { .. } => 2,
+        | EventKind::MigrationFailed { .. }
+        | EventKind::MigrationEnqueued { .. }
+        | EventKind::MigrationStarted { .. }
+        | EventKind::MigrationCompleted { .. }
+        | EventKind::MigrationAborted { .. } => 2,
         EventKind::Split { .. } | EventKind::Collapse { .. } => 3,
     }
 }
@@ -280,7 +326,7 @@ pub fn export_perfetto(obs: &TracingObserver, windows: &[WindowSample]) -> Strin
 }
 
 /// All event-kind labels the JSONL validator accepts.
-const KNOWN_KINDS: [&str; 9] = [
+const KNOWN_KINDS: [&str; 13] = [
     "promotion",
     "demotion",
     "split",
@@ -290,6 +336,10 @@ const KNOWN_KINDS: [&str; 9] = [
     "sample_batch",
     "tlb_shootdown",
     "migration_failed",
+    "migration_enqueued",
+    "migration_started",
+    "migration_completed",
+    "migration_aborted",
 ];
 
 /// Summary returned by a successful [`validate_jsonl`] pass.
@@ -558,6 +608,70 @@ mod tests {
             .unwrap();
         assert_eq!(promo.get("ts").and_then(Json::as_f64), Some(2.0));
         assert_eq!(promo.get("tid").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn transfer_lifecycle_events_roundtrip() {
+        let mut o = TracingObserver::new();
+        o.record(Event::new(
+            100.0,
+            EventKind::MigrationEnqueued {
+                vpage: 7,
+                from: 1,
+                to: 0,
+                bytes: 4096,
+                queue_depth: 3,
+            },
+        ));
+        o.record(Event::new(
+            200.0,
+            EventKind::MigrationStarted {
+                vpage: 7,
+                from: 1,
+                to: 0,
+                bytes: 4096,
+            },
+        ));
+        o.record(Event::new(
+            300.0,
+            EventKind::MigrationCompleted {
+                vpage: 7,
+                from: 1,
+                to: 0,
+                bytes: 4096,
+            },
+        ));
+        o.record(Event::new(
+            400.0,
+            EventKind::MigrationAborted {
+                vpage: 9,
+                to: 0,
+                bytes: 4096,
+                wasted_bytes: 8192,
+                cause: MigrationFailure::Dirty,
+            },
+        ));
+        let text = export_jsonl(&o, &[]);
+        let s = validate_jsonl(&text).unwrap();
+        assert_eq!(s.events, 4);
+        assert!(text.contains(r#""kind":"migration_enqueued","vpage":7"#));
+        assert!(text.contains(r#""queue_depth":3"#));
+        assert!(text.contains(r#""wasted_bytes":8192,"cause":"dirty""#));
+        // The completion fed the promotions counter; the abort its own.
+        use crate::registry::{CounterId, GaugeId};
+        assert_eq!(o.registry.counter(CounterId::Promotions), 1);
+        assert_eq!(o.registry.counter(CounterId::MigrationsEnqueued), 1);
+        assert_eq!(o.registry.counter(CounterId::MigrationsAborted), 1);
+        assert_eq!(o.registry.gauge(GaugeId::MigrationQueueDepth), 3.0);
+        // All four land on the kmigrated perfetto thread.
+        let p = export_perfetto(&o, &[]);
+        validate_perfetto(&p).unwrap();
+        let v = Json::parse(&p).unwrap();
+        for e in v.get("traceEvents").and_then(Json::as_arr).unwrap() {
+            if e.get("ph").and_then(Json::as_str) == Some("i") {
+                assert_eq!(e.get("tid").and_then(Json::as_f64), Some(2.0));
+            }
+        }
     }
 
     #[test]

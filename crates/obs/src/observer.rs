@@ -122,6 +122,22 @@ impl Observer for TracingObserver {
                     r.inc(CounterId::MigrationsFailed);
                 }
             }
+            EventKind::MigrationEnqueued { queue_depth, .. } => {
+                r.inc(CounterId::MigrationsEnqueued);
+                r.set_gauge(GaugeId::MigrationQueueDepth, queue_depth as f64);
+            }
+            EventKind::MigrationStarted { .. } => {}
+            // Asynchronous completions feed the same promotion/demotion
+            // counters the synchronous events do, so counter semantics
+            // don't depend on the engine mode.
+            EventKind::MigrationCompleted { from, to, .. } => {
+                if to < from {
+                    r.inc(CounterId::Promotions);
+                } else {
+                    r.inc(CounterId::Demotions);
+                }
+            }
+            EventKind::MigrationAborted { .. } => r.inc(CounterId::MigrationsAborted),
         }
         self.ring.push(event);
         self.registry

@@ -39,11 +39,15 @@ pub enum CounterId {
     MigrationsFailed,
     /// Queued migrations cancelled at re-validation.
     MigrationsCancelled,
+    /// Asynchronous transfers admitted to the migration engine.
+    MigrationsEnqueued,
+    /// In-flight transfers that ended without remapping the page.
+    MigrationsAborted,
 }
 
 impl CounterId {
     /// All counters, in registry order.
-    pub const ALL: [CounterId; 13] = [
+    pub const ALL: [CounterId; 15] = [
         CounterId::EventsRecorded,
         CounterId::EventsDropped,
         CounterId::Promotions,
@@ -57,6 +61,8 @@ impl CounterId {
         CounterId::TlbShootdowns,
         CounterId::MigrationsFailed,
         CounterId::MigrationsCancelled,
+        CounterId::MigrationsEnqueued,
+        CounterId::MigrationsAborted,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -75,6 +81,8 @@ impl CounterId {
             CounterId::TlbShootdowns => "tlb_shootdowns",
             CounterId::MigrationsFailed => "migrations_failed",
             CounterId::MigrationsCancelled => "migrations_cancelled",
+            CounterId::MigrationsEnqueued => "migrations_enqueued",
+            CounterId::MigrationsAborted => "migrations_aborted",
         }
     }
 }
@@ -99,11 +107,13 @@ pub enum GaugeId {
     Rhr,
     /// Most recent windowed estimated base-page hit ratio (eHR).
     Ehr,
+    /// Migration-engine admission-queue depth after the latest enqueue.
+    MigrationQueueDepth,
 }
 
 impl GaugeId {
     /// All gauges, in registry order.
-    pub const ALL: [GaugeId; 8] = [
+    pub const ALL: [GaugeId; 9] = [
         GaugeId::HotSetBytes,
         GaugeId::WarmSetBytes,
         GaugeId::ColdSetBytes,
@@ -112,6 +122,7 @@ impl GaugeId {
         GaugeId::LoadPeriod,
         GaugeId::Rhr,
         GaugeId::Ehr,
+        GaugeId::MigrationQueueDepth,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -125,6 +136,7 @@ impl GaugeId {
             GaugeId::LoadPeriod => "load_period",
             GaugeId::Rhr => "rhr",
             GaugeId::Ehr => "ehr",
+            GaugeId::MigrationQueueDepth => "migration_queue_depth",
         }
     }
 }

@@ -17,6 +17,7 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use memtis_core::{MemtisConfig, MemtisPolicy};
+use memtis_sim::engine::EngineEvent;
 use memtis_sim::prelude::{
     Access, AccessOutcome, CostAccounting, CostSink, Machine, MachineConfig, PolicyOps, SimResult,
     TierId, TieringPolicy,
@@ -116,6 +117,7 @@ impl Runtime {
                     .name("kmigrated".into())
                     .spawn(move || {
                         let mut acct = CostAccounting::default();
+                        let start = std::time::Instant::now();
                         while !shutdown.load(Ordering::Acquire) {
                             // Sleep in small quanta so shutdown stays
                             // responsive even with long wakeup periods.
@@ -128,10 +130,25 @@ impl Runtime {
                             if shutdown.load(Ordering::Acquire) {
                                 break;
                             }
+                            // Host wall time stands in for the simulated
+                            // clock: it is monotone, which is all the
+                            // engine's arbitration needs here.
+                            let now_ns = start.elapsed().as_nanos() as f64;
                             let mut m = machine.lock();
                             let mut p = policy.lock();
-                            let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
+                            let mut ops =
+                                PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, now_ns);
                             p.tick(&mut ops);
+                            // With a bandwidth-limited link, `tick` only
+                            // enqueued transfers; advance the engine and
+                            // report completions/aborts back to the policy.
+                            for ev in m.pump_transfers(now_ns) {
+                                if let EngineEvent::Ended(end) = ev {
+                                    let mut ops =
+                                        PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, now_ns);
+                                    p.on_transfer_end(&mut ops, &end);
+                                }
+                            }
                             stats.migration_wakeups.fetch_add(1, Ordering::Relaxed);
                         }
                     })
@@ -286,6 +303,45 @@ mod tests {
         assert!(promoted, "kmigrated should promote the hot page");
         assert!(stats.samples_delivered.load(Ordering::Relaxed) > 0);
         assert!(stats.migration_wakeups.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn background_promotion_completes_through_async_engine() {
+        let (mut mc, pc) = small_cfg();
+        // Bandwidth-limit the link so promotions go through the in-flight
+        // engine (a huge-page pass takes ~131 us of wall time here) and
+        // must be finalized by kmigrated's pump on a later wakeup.
+        mc.migration.bandwidth_limit = Some(16.0);
+        let rt = Runtime::start(mc, pc, Duration::from_millis(2));
+        rt.alloc_region(0, 2 * HUGE_PAGE_SIZE, true).unwrap();
+        rt.alloc_region(1 << 30, HUGE_PAGE_SIZE, true).unwrap();
+        let hot_page = VirtPage((1 << 30) / 4096);
+        assert_eq!(rt.locate(hot_page).unwrap().0, TierId::CAPACITY);
+        for i in 0..3000u64 {
+            rt.access(Access::load((1 << 30) + (i % 512) * 4096))
+                .unwrap();
+            if i % 64 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let mut promoted = false;
+        for _ in 0..500 {
+            std::thread::sleep(Duration::from_millis(2));
+            if rt.locate(hot_page).map(|(t, _)| t) == Some(TierId::FAST) {
+                promoted = true;
+                break;
+            }
+        }
+        let stats = rt.machine_stats();
+        rt.shutdown();
+        assert!(
+            promoted,
+            "async promotion should complete in the background"
+        );
+        assert!(
+            stats.migration.in_flight_peak >= 1,
+            "promotion must have gone through the engine"
+        );
     }
 
     #[test]

@@ -146,6 +146,36 @@ impl Default for TlbSpec {
     }
 }
 
+/// Asynchronous-migration engine knobs.
+#[derive(Debug, Clone)]
+pub struct MigrationConfig {
+    /// Cap on migration copy bandwidth per tier-pair link, in bytes per
+    /// nanosecond. `None` disables the asynchronous engine entirely:
+    /// migrations complete instantaneously, exactly as in the synchronous
+    /// model — this is the bit-exact regression oracle.
+    pub bandwidth_limit: Option<f64>,
+    /// Admission bound on queued (not yet copying) transfers; enqueues past
+    /// this bound fail with [`crate::error::SimError::QueueFull`].
+    pub queue_depth: usize,
+    /// Copy restarts tolerated when stores keep dirtying an in-flight page
+    /// before the transfer aborts.
+    pub max_recopies: u32,
+    /// Extra latency charged to an LLC-missing demand access served by a
+    /// tier whose migration link is actively copying (ns).
+    pub contention_penalty_ns: f64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            bandwidth_limit: None,
+            queue_depth: 128,
+            max_recopies: 2,
+            contention_penalty_ns: 25.0,
+        }
+    }
+}
+
 /// Full machine configuration.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -167,6 +197,8 @@ pub struct MachineConfig {
     /// `kmigrated` per tier); queued work beyond this capacity drains later
     /// instead of consuming more cores.
     pub daemon_core_cap: f64,
+    /// Asynchronous-migration engine knobs.
+    pub migration: MigrationConfig,
 }
 
 impl MachineConfig {
@@ -197,6 +229,7 @@ impl MachineConfig {
             cores: 20,
             app_threads: 20,
             daemon_core_cap: 3.0,
+            migration: MigrationConfig::default(),
         }
     }
 

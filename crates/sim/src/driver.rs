@@ -17,9 +17,10 @@
 use crate::access::Access;
 use crate::addr::{PageSize, TierId, VirtAddr, VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES};
 use crate::config::MachineConfig;
+use crate::engine::EngineEvent;
 use crate::error::{SimError, SimResult};
 use crate::machine::Machine;
-use crate::policy::{CostAccounting, CostSink, PolicyOps, TieringPolicy};
+use crate::policy::{abort_failure, CostAccounting, CostSink, PolicyOps, TieringPolicy};
 use crate::stats::MachineStats;
 use memtis_obs::{
     Event, EventKind, NopObserver, Observer, ShootdownCause, WindowCollector, WindowCut,
@@ -74,6 +75,14 @@ pub struct DriverConfig {
     /// frees). A window closes every this-many events; a final partial
     /// window covers the tail of the run.
     pub window_events: u64,
+    /// Migration-link bandwidth cap override (bytes/ns). `Some(v > 0)`
+    /// engages the asynchronous migration engine with that cap;
+    /// `Some(v <= 0)` forces instantaneous migration; `None` keeps the
+    /// machine config's setting.
+    pub migration_bw: Option<f64>,
+    /// Migration admission-queue depth override; `None` keeps the machine
+    /// config's setting.
+    pub migration_queue: Option<usize>,
 }
 
 impl Default for DriverConfig {
@@ -84,6 +93,8 @@ impl Default for DriverConfig {
             timeline_interval_ns: 2_000_000.0,
             max_accesses: None,
             window_events: 100_000,
+            migration_bw: None,
+            migration_queue: None,
         }
     }
 }
@@ -218,7 +229,18 @@ impl<P: TieringPolicy> Simulation<P, NopObserver> {
 impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
     /// Creates a simulation routing trace events and window samples to
     /// `obs`.
-    pub fn with_observer(machine_cfg: MachineConfig, policy: P, cfg: DriverConfig, obs: O) -> Self {
+    pub fn with_observer(
+        mut machine_cfg: MachineConfig,
+        policy: P,
+        cfg: DriverConfig,
+        obs: O,
+    ) -> Self {
+        if let Some(bw) = cfg.migration_bw {
+            machine_cfg.migration.bandwidth_limit = if bw > 0.0 { Some(bw) } else { None };
+        }
+        if let Some(q) = cfg.migration_queue {
+            machine_cfg.migration.queue_depth = q;
+        }
         let machine = Machine::new(machine_cfg);
         let next_tick = cfg.tick_interval_ns;
         let next_snapshot = cfg.timeline_interval_ns;
@@ -446,6 +468,87 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
         Ok(())
     }
 
+    /// Advances the asynchronous migration engine to the current wall
+    /// clock: starts queued transfers as links free up, finalizes finished
+    /// copies, and reports terminal transfers back to the policy (daemon
+    /// context). No-op while the engine is idle, so unlimited-bandwidth
+    /// runs never enter this path.
+    fn pump_transfers(&mut self) {
+        if self.machine.transfers_idle() {
+            return;
+        }
+        let events = self.machine.pump_transfers(self.wall_ns);
+        if events.is_empty() {
+            return;
+        }
+        let shootdown_ns = self.machine.config().costs.tlb_shootdown_ns;
+        for ev in events {
+            match ev {
+                EngineEvent::Started {
+                    vpage,
+                    from,
+                    to,
+                    bytes,
+                    ..
+                } => {
+                    if self.obs.enabled() {
+                        self.obs.record(Event::new(
+                            self.wall_ns,
+                            EventKind::MigrationStarted {
+                                vpage: vpage.0,
+                                from: from.0,
+                                to: to.0,
+                                bytes,
+                            },
+                        ));
+                    }
+                }
+                EngineEvent::Ended(end) => {
+                    match end.aborted {
+                        None => {
+                            // The remap (PTE update + TLB shootdown) runs on
+                            // the migration daemon, off the app critical path.
+                            self.acct.daemon_ns += shootdown_ns;
+                            if self.obs.enabled() {
+                                self.obs.record(Event::new(
+                                    self.wall_ns,
+                                    EventKind::MigrationCompleted {
+                                        vpage: end.vpage.0,
+                                        from: end.from.0,
+                                        to: end.to.0,
+                                        bytes: end.bytes,
+                                    },
+                                ));
+                            }
+                        }
+                        Some(cause) => {
+                            if self.obs.enabled() {
+                                self.obs.record(Event::new(
+                                    self.wall_ns,
+                                    EventKind::MigrationAborted {
+                                        vpage: end.vpage.0,
+                                        to: end.to.0,
+                                        bytes: end.bytes,
+                                        wasted_bytes: end.wasted_bytes,
+                                        cause: abort_failure(cause),
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                    let mut ops = Self::ops(
+                        &mut self.machine,
+                        &mut self.acct,
+                        &mut self.obs,
+                        CostSink::Daemon,
+                        self.wall_ns,
+                    );
+                    self.policy.on_transfer_end(&mut ops, &end);
+                }
+            }
+        }
+    }
+
     fn run_due_ticks(&mut self) {
         while self.wall_ns >= self.next_tick {
             let now = self.next_tick;
@@ -552,6 +655,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
                 WorkloadEvent::Alloc { addr, bytes, thp } => self.handle_alloc(addr, bytes, thp)?,
                 WorkloadEvent::Free { addr, bytes } => self.handle_free(addr, bytes)?,
             }
+            self.pump_transfers();
             if self.wall_ns >= self.next_tick {
                 self.run_due_ticks();
             }
@@ -569,6 +673,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             }
             self.rss_peak = self.rss_peak.max(self.machine.rss_bytes());
         }
+        self.pump_transfers();
         self.close_window();
         if self.wcol.has_partial(self.sim_events) {
             self.cut_telemetry_window();
@@ -728,6 +833,117 @@ mod tests {
             .unwrap();
         assert!(r20.wall_ns < r1.wall_ns);
         assert!((r1.wall_ns / r20.wall_ns - 20.0).abs() < 0.5);
+    }
+
+    /// Promotes page 0 once from the first tick and records every terminal
+    /// transfer it is told about.
+    struct PromoteOnce {
+        asked: bool,
+        ended: Vec<crate::engine::TransferEnd>,
+    }
+
+    impl PromoteOnce {
+        fn new() -> Self {
+            PromoteOnce {
+                asked: false,
+                ended: Vec::new(),
+            }
+        }
+    }
+
+    impl TieringPolicy for PromoteOnce {
+        fn descriptor(&self) -> crate::policy::PolicyDescriptor {
+            NoopPolicy.descriptor()
+        }
+        fn alloc_tier(
+            &mut self,
+            _ops: &mut PolicyOps<'_>,
+            _vpage: VirtPage,
+            _size: PageSize,
+        ) -> TierId {
+            TierId::CAPACITY
+        }
+        fn tick(&mut self, ops: &mut PolicyOps<'_>) {
+            if !self.asked && ops.migrate(VirtPage(0), TierId::FAST).is_ok() {
+                self.asked = true;
+            }
+        }
+        fn on_transfer_end(&mut self, _ops: &mut PolicyOps<'_>, end: &crate::engine::TransferEnd) {
+            self.ended.push(*end);
+        }
+    }
+
+    fn promote_workload() -> Script {
+        let mut events = vec![WorkloadEvent::Alloc {
+            addr: VirtAddr(0),
+            bytes: HUGE_PAGE_SIZE,
+            thp: false,
+        }];
+        for i in 0..5_000u64 {
+            events.push(WorkloadEvent::Access(Access::load((i % 512) * 4096)));
+        }
+        Script::new(events)
+    }
+
+    #[test]
+    fn run_loop_pumps_async_transfers_to_completion() {
+        let mut sim = Simulation::new(
+            cfg(),
+            PromoteOnce::new(),
+            DriverConfig {
+                migration_bw: Some(1.0),
+                tick_interval_ns: 10_000.0,
+                ..Default::default()
+            },
+        );
+        let r = sim.run(&mut promote_workload()).unwrap();
+        assert!(sim.policy().asked);
+        // The transfer finished inside the run and was reported back.
+        assert!(sim.machine().transfers_idle());
+        assert_eq!(sim.policy().ended.len(), 1);
+        assert!(sim.policy().ended[0].aborted.is_none());
+        assert_eq!(sim.machine().locate(VirtPage(0)).unwrap().0, TierId::FAST);
+        assert_eq!(r.stats.migration.promoted_4k, 1);
+        assert_eq!(r.stats.migration.aborted, 0);
+    }
+
+    #[test]
+    fn unlimited_bandwidth_run_matches_legacy_sync_path() {
+        // `migration_bw: None` (the default) must reproduce the
+        // pre-engine instantaneous semantics bit-exactly: this is the
+        // regression oracle for the whole refactor.
+        let run = |cfg_driver: DriverConfig| {
+            let mut sim = Simulation::new(cfg(), PromoteOnce::new(), cfg_driver);
+            sim.run(&mut promote_workload()).unwrap()
+        };
+        let legacy = run(DriverConfig {
+            tick_interval_ns: 10_000.0,
+            ..Default::default()
+        });
+        let explicit_off = run(DriverConfig {
+            migration_bw: Some(0.0),
+            tick_interval_ns: 10_000.0,
+            ..Default::default()
+        });
+        assert_eq!(legacy.wall_ns, explicit_off.wall_ns);
+        assert_eq!(legacy.app_access_ns, explicit_off.app_access_ns);
+        assert_eq!(legacy.daemon_ns, explicit_off.daemon_ns);
+        assert_eq!(
+            format!("{:?}", legacy.stats),
+            format!("{:?}", explicit_off.stats)
+        );
+        // Sync completion never calls the terminal hook.
+        let mut sim = Simulation::new(
+            cfg(),
+            PromoteOnce::new(),
+            DriverConfig {
+                tick_interval_ns: 10_000.0,
+                ..Default::default()
+            },
+        );
+        sim.run(&mut promote_workload()).unwrap();
+        assert!(sim.policy().asked);
+        assert!(sim.policy().ended.is_empty());
     }
 
     #[test]

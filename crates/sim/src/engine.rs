@@ -1,0 +1,603 @@
+//! Asynchronous migration engine: bandwidth-arbitrated, abortable in-flight
+//! transfers.
+//!
+//! Real `kmigrated` threads move pages *over time*: a migration occupies the
+//! copy bandwidth of the link between two tiers, can be overtaken by a
+//! hotness change, and must cope with the application writing the page
+//! mid-copy. This module models that as **copy-then-remap** transfers
+//! (Nomad-style transactional migration):
+//!
+//! 1. **Enqueued** — the destination frame is reserved immediately (so tier
+//!    accounting reflects the commitment), but the page keeps translating to
+//!    its source frame. Admission is bounded by
+//!    [`crate::config::MigrationConfig::queue_depth`].
+//! 2. **Copying** — each tier pair forms one *link* whose bandwidth is the
+//!    minimum of the two tiers' copy bandwidths, optionally capped by
+//!    [`crate::config::MigrationConfig::bandwidth_limit`]. One transfer
+//!    copies per link at a time; the next is chosen by highest priority,
+//!    then FIFO. Reads keep hitting the source copy for the whole duration.
+//! 3. **Completed** — when the copy pass finishes clean, the machine remaps
+//!    the page to the reserved frame, frees the source frame, and performs
+//!    the TLB shootdown.
+//! 4. **Dirtied / aborted** — a store to an in-flight page marks the pass
+//!    dirty; a dirty pass is re-copied up to
+//!    [`crate::config::MigrationConfig::max_recopies`] times, then the
+//!    transfer aborts and the reservation is released. Policies may also
+//!    abort transfers explicitly (e.g. MEMTIS cancelling a promotion whose
+//!    page cooled below the hot threshold).
+//!
+//! Progress advances only inside [`crate::machine::Machine::pump_transfers`],
+//! which the driver calls on the simulated wall clock — never host time —
+//! so transfer interleaving is deterministic: same seed, same schedule.
+//! With `bandwidth_limit = None` the engine is never engaged and migrations
+//! retain the legacy instantaneous semantics bit-exactly.
+
+use crate::addr::{Frame, PageSize, TierId, VirtPage, BASE_PAGE_SIZE};
+use crate::machine::MigrateOutcome;
+
+/// Identifier of a queued or in-flight transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferId(pub u64);
+
+impl std::fmt::Display for TransferId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xfer{}", self.0)
+    }
+}
+
+/// Why a transfer ended without remapping the page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// The issuing policy aborted the transfer (e.g. the page cooled below
+    /// the hot threshold while its promotion was still in flight).
+    Cancelled,
+    /// Stores kept dirtying the source page past the re-copy budget.
+    Dirty,
+    /// The mapping changed under the transfer (unmap, split, collapse, or
+    /// re-allocation), so the copied data no longer describes the page.
+    Superseded,
+}
+
+impl AbortCause {
+    /// Stable snake_case label for traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::Cancelled => "cancelled",
+            AbortCause::Dirty => "dirty",
+            AbortCause::Superseded => "superseded",
+        }
+    }
+}
+
+/// Result of asking the machine to migrate a page.
+///
+/// With an unlimited migration link the move completes synchronously and the
+/// caller gets the familiar [`MigrateOutcome`]; under bandwidth arbitration
+/// the move is admitted as an in-flight transfer instead and completes (or
+/// aborts) during a later pump.
+#[derive(Debug, Clone, Copy)]
+pub enum MigrationHandle {
+    /// The migration completed synchronously (unlimited-bandwidth mode).
+    Done(MigrateOutcome),
+    /// The migration was admitted and is pending or copying.
+    InFlight {
+        /// Handle for abort / tracking.
+        id: TransferId,
+        /// Source tier at admission time.
+        from: TierId,
+        /// Destination tier.
+        to: TierId,
+        /// Bytes the transfer will copy.
+        bytes: u64,
+    },
+}
+
+impl MigrationHandle {
+    /// Bytes moved (or committed to move).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            MigrationHandle::Done(out) => out.bytes,
+            MigrationHandle::InFlight { bytes, .. } => *bytes,
+        }
+    }
+
+    /// The synchronous outcome, if the migration already completed.
+    pub fn outcome(&self) -> Option<&MigrateOutcome> {
+        match self {
+            MigrationHandle::Done(out) => Some(out),
+            MigrationHandle::InFlight { .. } => None,
+        }
+    }
+
+    /// The transfer id, if the migration is in flight.
+    pub fn transfer_id(&self) -> Option<TransferId> {
+        match self {
+            MigrationHandle::Done(_) => None,
+            MigrationHandle::InFlight { id, .. } => Some(*id),
+        }
+    }
+
+    /// Whether the migration completed synchronously.
+    pub fn is_done(&self) -> bool {
+        matches!(self, MigrationHandle::Done(_))
+    }
+}
+
+/// Terminal record of a transfer, reported back to the issuing policy.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferEnd {
+    /// The transfer's id.
+    pub id: TransferId,
+    /// Page the transfer covered.
+    pub vpage: VirtPage,
+    /// Mapping size at admission.
+    pub size: PageSize,
+    /// Source tier.
+    pub from: TierId,
+    /// Destination tier.
+    pub to: TierId,
+    /// Bytes the transfer was to copy.
+    pub bytes: u64,
+    /// Copy work discarded (whole passes; an interrupted pass counts full).
+    pub wasted_bytes: u64,
+    /// `None` if the page was remapped; otherwise why the transfer died.
+    pub aborted: Option<AbortCause>,
+}
+
+/// Engine progress notification surfaced by
+/// [`crate::machine::Machine::pump_transfers`].
+#[derive(Debug, Clone, Copy)]
+pub enum EngineEvent {
+    /// A queued transfer won its link and began copying.
+    Started {
+        /// The transfer's id.
+        id: TransferId,
+        /// Page being copied.
+        vpage: VirtPage,
+        /// Source tier.
+        from: TierId,
+        /// Destination tier.
+        to: TierId,
+        /// Bytes being copied.
+        bytes: u64,
+    },
+    /// A transfer finished — remapped on success, reservation released on
+    /// abort.
+    Ended(TransferEnd),
+}
+
+/// One queued or copying transfer.
+#[derive(Debug, Clone)]
+pub(crate) struct Transfer {
+    pub id: TransferId,
+    pub vpage: VirtPage,
+    pub size: PageSize,
+    pub from: TierId,
+    pub to: TierId,
+    pub src_frame: Frame,
+    pub dst_frame: Frame,
+    pub bytes: u64,
+    pub priority: u8,
+    pub enqueued_ns: f64,
+    /// Admission order; breaks priority ties deterministically.
+    seq: u64,
+    /// Whether a copy pass has begun.
+    pub started: bool,
+    /// Time the current copy pass began (valid once started).
+    pub start_ns: f64,
+    /// Time the current copy pass will finish (valid once started).
+    pub end_ns: f64,
+    /// A store dirtied the source during the current pass.
+    pub dirty: bool,
+    /// Copy passes restarted because the source was dirtied.
+    pub recopies: u32,
+    /// Copy passes whose work was discarded (restarts + aborted passes).
+    pub wasted_passes: u32,
+}
+
+impl Transfer {
+    fn pages(&self) -> u64 {
+        self.bytes / BASE_PAGE_SIZE
+    }
+
+    /// Whether this transfer's page range overlaps `[vpage, vpage+pages)`.
+    pub(crate) fn overlaps(&self, vpage: VirtPage, size: PageSize) -> bool {
+        let a0 = self.vpage.0;
+        let a1 = a0 + self.pages();
+        let b0 = vpage.0;
+        let b1 = b0 + size.bytes() / BASE_PAGE_SIZE;
+        a0 < b1 && b0 < a1
+    }
+
+    pub(crate) fn wasted_bytes(&self) -> u64 {
+        self.wasted_passes as u64 * self.bytes
+    }
+
+    pub(crate) fn end(&self, aborted: Option<AbortCause>) -> TransferEnd {
+        TransferEnd {
+            id: self.id,
+            vpage: self.vpage,
+            size: self.size,
+            from: self.from,
+            to: self.to,
+            bytes: self.bytes,
+            wasted_bytes: self.wasted_bytes(),
+            aborted,
+        }
+    }
+}
+
+/// Internal pump step handed to the machine for finalization.
+#[derive(Debug)]
+pub(crate) enum PumpOutcome {
+    Started {
+        id: TransferId,
+        vpage: VirtPage,
+        from: TierId,
+        to: TierId,
+        bytes: u64,
+    },
+    /// A copy pass finished clean; the machine remaps (or supersedes).
+    CopyDone(Transfer),
+    /// The re-copy budget ran out; the machine releases the reservation.
+    DirtyAborted(Transfer),
+}
+
+/// One migration link (unordered tier pair) and its current occupant.
+#[derive(Debug)]
+struct Link {
+    key: (u8, u8),
+    /// Time up to which the link's bandwidth is committed.
+    free_ns: f64,
+    active: Option<Transfer>,
+}
+
+fn link_key(a: TierId, b: TierId) -> (u8, u8) {
+    (a.0.min(b.0), a.0.max(b.0))
+}
+
+/// Transfer table: admission queue plus per-link active copies.
+#[derive(Debug)]
+pub(crate) struct MigrationEngine {
+    queue_depth: usize,
+    max_recopies: u32,
+    pending: Vec<Transfer>,
+    links: Vec<Link>,
+    next_id: u64,
+    next_seq: u64,
+}
+
+impl MigrationEngine {
+    pub(crate) fn new(queue_depth: usize, max_recopies: u32) -> Self {
+        MigrationEngine {
+            queue_depth,
+            max_recopies,
+            pending: Vec::new(),
+            links: Vec::new(),
+            next_id: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// No transfers queued or copying.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.pending.is_empty() && !self.has_active()
+    }
+
+    pub(crate) fn has_active(&self) -> bool {
+        self.links.iter().any(|l| l.active.is_some())
+    }
+
+    pub(crate) fn queue_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        self.pending.len() + self.links.iter().filter(|l| l.active.is_some()).count()
+    }
+
+    pub(crate) fn has_queue_capacity(&self) -> bool {
+        self.pending.len() < self.queue_depth
+    }
+
+    fn iter_all(&self) -> impl Iterator<Item = &Transfer> {
+        self.pending
+            .iter()
+            .chain(self.links.iter().filter_map(|l| l.active.as_ref()))
+    }
+
+    /// Any transfer overlapping the given page range.
+    pub(crate) fn find_overlapping(&self, vpage: VirtPage, size: PageSize) -> Option<TransferId> {
+        self.iter_all()
+            .find(|t| t.overlaps(vpage, size))
+            .map(|t| t.id)
+    }
+
+    /// The transfer covering the base page `vpage`, if any.
+    pub(crate) fn transfer_for(&self, vpage: VirtPage) -> Option<TransferId> {
+        self.find_overlapping(vpage, PageSize::Base)
+    }
+
+    /// Marks the active transfer covering `vpage` (if any) dirty: the copy
+    /// pass in progress will be discarded and re-run or aborted.
+    pub(crate) fn note_store(&mut self, vpage: VirtPage) {
+        for l in &mut self.links {
+            if let Some(t) = l.active.as_mut() {
+                if t.overlaps(vpage, PageSize::Base) {
+                    t.dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Whether `tier` is an endpoint of a link with an active copy.
+    pub(crate) fn link_busy_for(&self, tier: TierId) -> bool {
+        self.links
+            .iter()
+            .any(|l| l.active.is_some() && (l.key.0 == tier.0 || l.key.1 == tier.0))
+    }
+
+    /// Admits a validated transfer into the pending queue.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn admit(
+        &mut self,
+        vpage: VirtPage,
+        size: PageSize,
+        from: TierId,
+        to: TierId,
+        src_frame: Frame,
+        dst_frame: Frame,
+        priority: u8,
+        now_ns: f64,
+    ) -> TransferId {
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Transfer {
+            id,
+            vpage,
+            size,
+            from,
+            to,
+            src_frame,
+            dst_frame,
+            bytes: size.bytes(),
+            priority,
+            enqueued_ns: now_ns,
+            seq,
+            started: false,
+            start_ns: 0.0,
+            end_ns: 0.0,
+            dirty: false,
+            recopies: 0,
+            wasted_passes: 0,
+        });
+        id
+    }
+
+    /// Removes a transfer by id (pending or active). An interrupted copy
+    /// pass counts as a wasted pass; the link is freed at `now_ns`.
+    pub(crate) fn remove(&mut self, id: TransferId, now_ns: f64) -> Option<Transfer> {
+        if let Some(i) = self.pending.iter().position(|t| t.id == id) {
+            return Some(self.pending.remove(i));
+        }
+        for l in &mut self.links {
+            if l.active.as_ref().is_some_and(|t| t.id == id) {
+                let mut t = l.active.take().unwrap();
+                t.wasted_passes += 1;
+                l.free_ns = l.free_ns.max(now_ns.min(t.end_ns));
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Ensures a link exists for every queued transfer, keeping the link
+    /// list sorted by key so pump order is deterministic.
+    fn ensure_links(&mut self) {
+        for t in &self.pending {
+            let key = link_key(t.from, t.to);
+            if !self.links.iter().any(|l| l.key == key) {
+                self.links.push(Link {
+                    key,
+                    free_ns: 0.0,
+                    active: None,
+                });
+                self.links.sort_by_key(|l| l.key);
+            }
+        }
+    }
+
+    /// Index of the best pending transfer for `key`: highest priority, then
+    /// admission order.
+    fn best_pending_for(&self, key: (u8, u8)) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, t) in self.pending.iter().enumerate() {
+            if link_key(t.from, t.to) != key {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let cur = &self.pending[b];
+                    if (t.priority, std::cmp::Reverse(t.seq))
+                        > (cur.priority, std::cmp::Reverse(cur.seq))
+                    {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Advances all links to `now_ns`. `bw_of(from, to)` yields the link
+    /// bandwidth in bytes/ns. Returns starts, clean copy completions (for
+    /// the machine to remap), and dirty aborts, in deterministic order.
+    pub(crate) fn pump(
+        &mut self,
+        now_ns: f64,
+        bw_of: impl Fn(TierId, TierId) -> f64,
+    ) -> Vec<PumpOutcome> {
+        let mut out = Vec::new();
+        self.ensure_links();
+        for li in 0..self.links.len() {
+            loop {
+                if self.links[li].active.is_none() {
+                    let Some(idx) = self.best_pending_for(self.links[li].key) else {
+                        break;
+                    };
+                    let mut t = self.pending.remove(idx);
+                    let bw = bw_of(t.from, t.to);
+                    t.start_ns = self.links[li].free_ns.max(t.enqueued_ns);
+                    t.end_ns = t.start_ns + t.bytes as f64 / bw;
+                    t.started = true;
+                    out.push(PumpOutcome::Started {
+                        id: t.id,
+                        vpage: t.vpage,
+                        from: t.from,
+                        to: t.to,
+                        bytes: t.bytes,
+                    });
+                    self.links[li].active = Some(t);
+                }
+                let t = self.links[li].active.as_mut().expect("just activated");
+                if t.end_ns > now_ns {
+                    break;
+                }
+                // The current copy pass finished at `t.end_ns`.
+                if t.dirty {
+                    t.wasted_passes += 1;
+                    if t.recopies < self.max_recopies {
+                        t.recopies += 1;
+                        t.dirty = false;
+                        let bw = bw_of(t.from, t.to);
+                        t.start_ns = t.end_ns;
+                        t.end_ns = t.start_ns + t.bytes as f64 / bw;
+                    } else {
+                        let t = self.links[li].active.take().expect("active");
+                        self.links[li].free_ns = t.end_ns;
+                        out.push(PumpOutcome::DirtyAborted(t));
+                    }
+                } else {
+                    let t = self.links[li].active.take().expect("active");
+                    self.links[li].free_ns = t.end_ns;
+                    out.push(PumpOutcome::CopyDone(t));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admit(e: &mut MigrationEngine, vpage: u64, prio: u8, now: f64) -> TransferId {
+        e.admit(
+            VirtPage(vpage),
+            PageSize::Base,
+            TierId::CAPACITY,
+            TierId::FAST,
+            Frame(1000 + vpage),
+            Frame(vpage),
+            prio,
+            now,
+        )
+    }
+
+    #[test]
+    fn one_transfer_copies_per_link_in_priority_order() {
+        let mut e = MigrationEngine::new(16, 2);
+        let a = admit(&mut e, 1, 0, 0.0);
+        let b = admit(&mut e, 2, 5, 0.0);
+        // 4096 bytes at 1 byte/ns = 4096 ns per transfer.
+        let out = e.pump(4096.0, |_, _| 1.0);
+        // b (higher priority) starts first and completes at t=4096; a then
+        // starts but has not finished.
+        let started: Vec<TransferId> = out
+            .iter()
+            .filter_map(|o| match o {
+                PumpOutcome::Started { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, vec![b, a]);
+        let done: Vec<TransferId> = out
+            .iter()
+            .filter_map(|o| match o {
+                PumpOutcome::CopyDone(t) => Some(t.id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done, vec![b]);
+        assert!(!e.is_idle());
+        let out2 = e.pump(8192.0, |_, _| 1.0);
+        assert!(matches!(&out2[..], [PumpOutcome::CopyDone(t)] if t.id == a));
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn dirty_pass_recopies_then_aborts() {
+        let mut e = MigrationEngine::new(16, 1);
+        let id = admit(&mut e, 7, 0, 0.0);
+        e.pump(10.0, |_, _| 1.0); // start copying
+        e.note_store(VirtPage(7));
+        let out = e.pump(4096.0, |_, _| 1.0);
+        // First pass dirty -> restarted, still copying.
+        assert!(out
+            .iter()
+            .all(|o| !matches!(o, PumpOutcome::DirtyAborted(_))));
+        e.note_store(VirtPage(7));
+        let out = e.pump(8192.0, |_, _| 1.0);
+        assert!(
+            matches!(&out[..], [PumpOutcome::DirtyAborted(t)] if t.id == id && t.wasted_passes == 2)
+        );
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn remove_pending_and_active() {
+        let mut e = MigrationEngine::new(16, 2);
+        let a = admit(&mut e, 1, 0, 0.0);
+        let b = admit(&mut e, 2, 0, 0.0);
+        e.pump(10.0, |_, _| 1.0); // a active, b pending
+        let tb = e.remove(b, 10.0).unwrap();
+        assert_eq!(tb.wasted_passes, 0, "pending removal wastes nothing");
+        let ta = e.remove(a, 10.0).unwrap();
+        assert_eq!(ta.wasted_passes, 1, "interrupted pass counts");
+        assert!(e.is_idle());
+        assert!(e.remove(a, 10.0).is_none());
+    }
+
+    #[test]
+    fn overlap_detection_covers_huge_ranges() {
+        let mut e = MigrationEngine::new(16, 2);
+        e.admit(
+            VirtPage(512),
+            PageSize::Huge,
+            TierId::CAPACITY,
+            TierId::FAST,
+            Frame(512),
+            Frame(0),
+            0,
+            0.0,
+        );
+        assert!(e.find_overlapping(VirtPage(700), PageSize::Base).is_some());
+        assert!(e.find_overlapping(VirtPage(512), PageSize::Huge).is_some());
+        assert!(e.find_overlapping(VirtPage(0), PageSize::Huge).is_none());
+        assert!(e.transfer_for(VirtPage(1024)).is_none());
+    }
+
+    #[test]
+    fn queue_capacity_is_bounded() {
+        let mut e = MigrationEngine::new(2, 2);
+        admit(&mut e, 1, 0, 0.0);
+        admit(&mut e, 2, 0, 0.0);
+        assert!(!e.has_queue_capacity());
+        e.pump(1.0, |_, _| 1.0); // one becomes active
+        assert!(e.has_queue_capacity());
+    }
+}

@@ -34,6 +34,10 @@ pub enum SimError {
     Unaligned(VirtPage),
     /// Migration target equals the current tier.
     SameTier(TierId),
+    /// The migration admission queue is full; retry after the engine drains.
+    QueueFull,
+    /// The page already has an in-flight (or queued) transfer covering it.
+    InFlight(VirtPage),
 }
 
 impl fmt::Display for SimError {
@@ -50,6 +54,8 @@ impl fmt::Display for SimError {
             }
             SimError::Unaligned(p) => write!(f, "{p} is not 2MiB-aligned"),
             SimError::SameTier(t) => write!(f, "page already resides on {t}"),
+            SimError::QueueFull => write!(f, "migration admission queue is full"),
+            SimError::InFlight(p) => write!(f, "{p} already has an in-flight transfer"),
         }
     }
 }

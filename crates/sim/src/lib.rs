@@ -33,6 +33,7 @@ pub mod addr;
 pub mod cache;
 pub mod config;
 pub mod driver;
+pub mod engine;
 pub mod error;
 pub mod machine;
 pub mod page_table;
@@ -49,10 +50,13 @@ pub mod prelude {
         Frame, PageSize, PhysAddr, TierId, VirtAddr, VirtPage, BASE_PAGE_SIZE, HUGE_PAGE_SIZE,
         NR_SUBPAGES,
     };
-    pub use crate::config::{CostModel, MachineConfig, MemoryKind, TierSpec, TlbSpec};
+    pub use crate::config::{
+        CostModel, MachineConfig, MemoryKind, MigrationConfig, TierSpec, TlbSpec,
+    };
     pub use crate::driver::{
         AccessStream, DriverConfig, RunReport, Simulation, Snapshot, WorkloadEvent,
     };
+    pub use crate::engine::{AbortCause, EngineEvent, MigrationHandle, TransferEnd, TransferId};
     pub use crate::error::{SimError, SimResult};
     pub use crate::machine::{Machine, MigrateOutcome, SplitOutcome};
     pub use crate::policy::{

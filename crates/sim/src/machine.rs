@@ -12,6 +12,10 @@ use crate::access::{Access, AccessOutcome};
 use crate::addr::{Frame, PageSize, TierId, VirtPage, BASE_PAGE_SIZE, NR_SUBPAGES};
 use crate::cache::Llc;
 use crate::config::MachineConfig;
+use crate::engine::{
+    AbortCause, EngineEvent, MigrationEngine, MigrationHandle, PumpOutcome, Transfer, TransferEnd,
+    TransferId,
+};
 use crate::error::{SimError, SimResult};
 use crate::page_table::{EntryMut, PageTable, Translation};
 use crate::stats::MachineStats;
@@ -51,6 +55,7 @@ pub struct Machine {
     pt: PageTable,
     tlb: Tlb,
     llc: Llc,
+    engine: MigrationEngine,
     /// Running counters.
     pub stats: MachineStats,
 }
@@ -72,6 +77,7 @@ impl Machine {
             tiers,
             pt: PageTable::new(),
             stats: MachineStats::default(),
+            engine: MigrationEngine::new(cfg.migration.queue_depth, cfg.migration.max_recopies),
             cfg,
         }
     }
@@ -280,6 +286,12 @@ impl Machine {
                 }
             };
 
+        // A store to a page whose copy is in flight dirties the pass: the
+        // engine must re-copy (or abort) before it can remap.
+        if is_store && self.engine.has_active() {
+            self.engine.note_store(vpage);
+        }
+
         let mut latency = 0.0;
 
         // NUMA-hint fault: trap cost, then the access proceeds (the driver
@@ -309,6 +321,12 @@ impl Machine {
             } else {
                 spec.load_ns
             };
+            // Demand accesses contend with an active migration copy on
+            // this tier's link. Never fires in unlimited-bandwidth mode
+            // (the engine is never engaged), preserving legacy costs.
+            if self.engine.has_active() && self.engine.link_busy_for(tier) {
+                latency += self.cfg.migration.contention_penalty_ns;
+            }
             self.stats.count_tier_hit(tier);
         }
 
@@ -380,6 +398,11 @@ impl Machine {
             None => unreachable!(),
         }
 
+        // Mirror of the fast path's in-flight dirty hook.
+        if access.is_store() && self.engine.has_active() {
+            self.engine.note_store(vpage);
+        }
+
         // Cache and memory.
         let paddr = crate::addr::PhysAddr(tr.frame.addr().0 + access.vaddr.base_offset());
         let tier = self.tier_of_frame(tr.frame);
@@ -393,6 +416,9 @@ impl Machine {
             } else {
                 spec.load_ns
             };
+            if self.engine.has_active() && self.engine.link_busy_for(tier) {
+                latency += self.cfg.migration.contention_penalty_ns;
+            }
             self.stats.count_tier_hit(tier);
         }
 
@@ -453,12 +479,7 @@ impl Machine {
         self.stats.shootdowns += 1;
 
         let bytes = tr.size.bytes();
-        let bw = self
-            .cfg
-            .tier(src)
-            .copy_bw_bytes_per_ns
-            .min(self.cfg.tier(dst).copy_bw_bytes_per_ns);
-        let cost = bytes as f64 / bw + self.cfg.costs.tlb_shootdown_ns;
+        let cost = self.transfer_cost_ns(src, dst, bytes, 0);
 
         let pages_4k = bytes / BASE_PAGE_SIZE;
         if dst.0 < src.0 {
@@ -505,7 +526,7 @@ impl Machine {
             self.stats.migration.zero_subpages_freed += freed as u64;
         }
 
-        let cost = self.cfg.costs.tlb_shootdown_ns + NR_SUBPAGES as f64 * PTE_UPDATE_NS;
+        let cost = self.transfer_cost_ns(tier, tier, 0, NR_SUBPAGES as u32);
         Ok(SplitOutcome {
             zero_subpages_freed: freed,
             cost_ns: cost,
@@ -548,16 +569,246 @@ impl Machine {
         self.stats.migration.collapses += 1;
 
         let bytes = PageSize::Huge.bytes();
-        let bw = self.cfg.tier(tier).copy_bw_bytes_per_ns;
-        let cost = bytes as f64 / bw
-            + self.cfg.costs.tlb_shootdown_ns
-            + NR_SUBPAGES as f64 * PTE_UPDATE_NS;
+        let cost = self.transfer_cost_ns(tier, tier, bytes, NR_SUBPAGES as u32);
         Ok(MigrateOutcome {
             cost_ns: cost,
             from: src,
             to: tier,
             bytes,
         })
+    }
+
+    /// Cost of moving `bytes` between `src` and `dst` plus the remap work:
+    /// `bytes / min(bw) + shootdown + pte_updates * per-PTE cost` (ns).
+    ///
+    /// Single source of truth for the migrate / split / collapse cost
+    /// formulas and the engine's copy-duration model, so the synchronous
+    /// legacy path and the asynchronous engine cannot drift.
+    pub fn transfer_cost_ns(&self, src: TierId, dst: TierId, bytes: u64, pte_updates: u32) -> f64 {
+        let bw = self
+            .cfg
+            .tier(src)
+            .copy_bw_bytes_per_ns
+            .min(self.cfg.tier(dst).copy_bw_bytes_per_ns);
+        bytes as f64 / bw + self.cfg.costs.tlb_shootdown_ns + pte_updates as f64 * PTE_UPDATE_NS
+    }
+
+    /// Copy bandwidth of the migration link between `src` and `dst`:
+    /// the slower tier's copy bandwidth, capped by the engine's
+    /// [`crate::config::MigrationConfig::bandwidth_limit`].
+    fn migration_link_bw(&self, src: TierId, dst: TierId) -> f64 {
+        let link = self
+            .cfg
+            .tier(src)
+            .copy_bw_bytes_per_ns
+            .min(self.cfg.tier(dst).copy_bw_bytes_per_ns);
+        match self.cfg.migration.bandwidth_limit {
+            Some(cap) => link.min(cap),
+            None => link,
+        }
+    }
+
+    /// Requests a migration of the page covering `vpage` to `dst`.
+    ///
+    /// With no [`crate::config::MigrationConfig::bandwidth_limit`] this
+    /// delegates to [`Machine::migrate`] and completes synchronously
+    /// (bit-exact legacy semantics). Under bandwidth arbitration the
+    /// destination frame is reserved and a transfer is admitted instead;
+    /// it completes or aborts during a later [`Machine::pump_transfers`].
+    /// Higher `priority` transfers win the link first.
+    ///
+    /// Validation failures count in
+    /// [`crate::stats::MigrationStats::failed`]; admission-control
+    /// rejections ([`SimError::QueueFull`], [`SimError::InFlight`]) do not —
+    /// they are back-pressure, not errors.
+    pub fn enqueue_migration(
+        &mut self,
+        vpage: VirtPage,
+        dst: TierId,
+        priority: u8,
+        now_ns: f64,
+    ) -> SimResult<MigrationHandle> {
+        if self.cfg.migration.bandwidth_limit.is_none() {
+            return self.migrate(vpage, dst).map(MigrationHandle::Done);
+        }
+        match self.enqueue_inner(vpage, dst, priority, now_ns) {
+            Ok(h) => Ok(h),
+            Err(e) => {
+                if !matches!(e, SimError::QueueFull | SimError::InFlight(_)) {
+                    self.stats.migration.failed += 1;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn enqueue_inner(
+        &mut self,
+        vpage: VirtPage,
+        dst: TierId,
+        priority: u8,
+        now_ns: f64,
+    ) -> SimResult<MigrationHandle> {
+        let tr = self.pt.translate(vpage).ok_or(SimError::NotMapped(vpage))?;
+        if tr.size == PageSize::Huge && !vpage.is_huge_aligned() {
+            return Err(SimError::Unaligned(vpage));
+        }
+        let src = self.tier_of_frame(tr.frame);
+        if src == dst {
+            return Err(SimError::SameTier(src));
+        }
+        if self.engine.find_overlapping(vpage, tr.size).is_some() {
+            return Err(SimError::InFlight(vpage));
+        }
+        if !self.engine.has_queue_capacity() {
+            return Err(SimError::QueueFull);
+        }
+        // Reserve the destination frame up front so tier accounting always
+        // reflects committed transfers; released again on abort.
+        let dst_frame = self.tiers[dst.0 as usize].alloc(tr.size)?;
+        let id = self.engine.admit(
+            vpage, tr.size, src, dst, tr.frame, dst_frame, priority, now_ns,
+        );
+        let in_flight = self.engine.in_flight() as u64;
+        if in_flight > self.stats.migration.in_flight_peak {
+            self.stats.migration.in_flight_peak = in_flight;
+        }
+        Ok(MigrationHandle::InFlight {
+            id,
+            from: src,
+            to: dst,
+            bytes: tr.size.bytes(),
+        })
+    }
+
+    /// Aborts a queued or copying transfer, releasing its destination
+    /// reservation. Returns `None` if the id is unknown (already finished).
+    pub fn abort_transfer(&mut self, id: TransferId, now_ns: f64) -> Option<TransferEnd> {
+        let t = self.engine.remove(id, now_ns)?;
+        Some(self.abort_common(t, AbortCause::Cancelled))
+    }
+
+    /// No transfers queued or copying.
+    pub fn transfers_idle(&self) -> bool {
+        self.engine.is_idle()
+    }
+
+    /// Queued (not yet copying) transfers.
+    pub fn transfer_queue_len(&self) -> usize {
+        self.engine.queue_len()
+    }
+
+    /// Queued plus copying transfers.
+    pub fn transfers_in_flight(&self) -> usize {
+        self.engine.in_flight()
+    }
+
+    /// The transfer covering base page `vpage`, if any.
+    pub fn transfer_for(&self, vpage: VirtPage) -> Option<TransferId> {
+        self.engine.transfer_for(vpage)
+    }
+
+    /// Advances the migration engine to simulated time `now_ns`, starting
+    /// queued copies as links free up and finalizing finished ones
+    /// (remapping the page, or releasing the reservation on abort). Returns
+    /// the lifecycle events in deterministic order. Copy-then-remap: until
+    /// a transfer completes here, accesses keep translating to the source
+    /// frame.
+    pub fn pump_transfers(&mut self, now_ns: f64) -> Vec<EngineEvent> {
+        if self.engine.is_idle() {
+            return Vec::new();
+        }
+        let outcomes = {
+            let engine = &mut self.engine;
+            let cfg = &self.cfg;
+            engine.pump(now_ns, |a, b| {
+                let link = cfg
+                    .tier(a)
+                    .copy_bw_bytes_per_ns
+                    .min(cfg.tier(b).copy_bw_bytes_per_ns);
+                match cfg.migration.bandwidth_limit {
+                    Some(cap) => link.min(cap),
+                    None => link,
+                }
+            })
+        };
+        let mut events = Vec::with_capacity(outcomes.len());
+        for o in outcomes {
+            match o {
+                PumpOutcome::Started {
+                    id,
+                    vpage,
+                    from,
+                    to,
+                    bytes,
+                } => events.push(EngineEvent::Started {
+                    id,
+                    vpage,
+                    from,
+                    to,
+                    bytes,
+                }),
+                PumpOutcome::CopyDone(t) => {
+                    if self.finalize_transfer(&t) {
+                        self.stats.migration.recopies += t.recopies as u64;
+                        events.push(EngineEvent::Ended(t.end(None)));
+                    } else {
+                        // The mapping changed under the copy; the data no
+                        // longer describes the page.
+                        events.push(EngineEvent::Ended(
+                            self.abort_common(t, AbortCause::Superseded),
+                        ));
+                    }
+                }
+                PumpOutcome::DirtyAborted(t) => {
+                    events.push(EngineEvent::Ended(self.abort_common(t, AbortCause::Dirty)));
+                }
+            }
+        }
+        events
+    }
+
+    /// Remaps a cleanly-copied transfer. Returns false if the mapping
+    /// changed since admission (unmapped, resized, or re-allocated), in
+    /// which case the caller aborts the transfer instead.
+    fn finalize_transfer(&mut self, t: &Transfer) -> bool {
+        let Some(tr) = self.pt.translate(t.vpage) else {
+            return false;
+        };
+        if tr.size != t.size || tr.frame != t.src_frame {
+            return false;
+        }
+        // Remap exactly as the synchronous path does.
+        self.pt.invalidate_walk_cache();
+        let old_frame = match self.pt.entry_mut(t.vpage) {
+            Some(EntryMut::Base(p)) => std::mem::replace(&mut p.frame, t.dst_frame),
+            Some(EntryMut::Huge(h)) => std::mem::replace(&mut h.frame, t.dst_frame),
+            None => unreachable!(),
+        };
+        self.tiers[t.from.0 as usize].free(old_frame, t.size);
+        self.tlb.invalidate(t.vpage, t.size);
+        self.stats.shootdowns += 1;
+        let pages_4k = t.bytes / BASE_PAGE_SIZE;
+        if t.to.0 < t.from.0 {
+            self.stats.migration.promoted_4k += pages_4k;
+        } else {
+            self.stats.migration.demoted_4k += pages_4k;
+        }
+        self.stats.migration.migrated_bytes += t.bytes;
+        true
+    }
+
+    fn abort_common(&mut self, t: Transfer, cause: AbortCause) -> TransferEnd {
+        self.tiers[t.to.0 as usize].free(t.dst_frame, t.size);
+        self.stats.migration.recopies += t.recopies as u64;
+        self.stats.migration.aborted += 1;
+        self.stats.migration.aborted_bytes += t.wasted_bytes();
+        t.end(Some(cause))
+    }
+
+    /// Exposes the link bandwidth model for tests and benches.
+    pub fn effective_link_bw(&self, src: TierId, dst: TierId) -> f64 {
+        self.migration_link_bw(src, dst)
     }
 }
 
@@ -827,6 +1078,185 @@ mod tests {
         assert_eq!(
             format!("{:?}", fast.llc_stats()),
             format!("{:?}", refm.llc_stats())
+        );
+    }
+
+    fn async_machine() -> Machine {
+        let mut cfg = MachineConfig::dram_nvm(4 * HUGE_PAGE_SIZE, 16 * HUGE_PAGE_SIZE);
+        cfg.migration.bandwidth_limit = Some(1.0); // 1 byte/ns -> 4096 ns per base page
+        Machine::new(cfg)
+    }
+
+    #[test]
+    fn unlimited_enqueue_is_bit_identical_to_sync_migrate() {
+        // The regression oracle: with no bandwidth limit the enqueue path
+        // must reproduce the synchronous path exactly — same outcome, same
+        // stats, same machine state.
+        let mut sync = machine();
+        let mut asy = machine();
+        for m in [&mut sync, &mut asy] {
+            m.alloc_and_map(VirtPage(3), PageSize::Base, TierId::CAPACITY)
+                .unwrap();
+            m.access(Access::store(3 * 4096)).unwrap();
+        }
+        let a = sync.migrate(VirtPage(3), TierId::FAST).unwrap();
+        let b = asy
+            .enqueue_migration(VirtPage(3), TierId::FAST, 7, 123.0)
+            .unwrap();
+        assert!(b.is_done());
+        assert_eq!(format!("{a:?}"), format!("{:?}", *b.outcome().unwrap()));
+        assert_eq!(format!("{:?}", sync.stats), format!("{:?}", asy.stats));
+        assert!(asy.transfers_idle());
+        assert!(asy.pump_transfers(1e9).is_empty());
+    }
+
+    #[test]
+    fn async_transfer_copies_then_remaps() {
+        let mut m = async_machine();
+        m.alloc_and_map(VirtPage(3), PageSize::Base, TierId::CAPACITY)
+            .unwrap();
+        let h = m
+            .enqueue_migration(VirtPage(3), TierId::FAST, 0, 0.0)
+            .unwrap();
+        let id = h.transfer_id().expect("in flight");
+        assert_eq!(m.transfer_for(VirtPage(3)), Some(id));
+        // The destination frame is reserved immediately...
+        assert_eq!(m.free_bytes(TierId::FAST), 4 * HUGE_PAGE_SIZE - 4096);
+        // ...but the page still translates to the source tier mid-copy.
+        let ev = m.pump_transfers(100.0);
+        assert!(matches!(&ev[..], [EngineEvent::Started { .. }]));
+        assert_eq!(
+            m.locate(VirtPage(3)),
+            Some((TierId::CAPACITY, PageSize::Base))
+        );
+        assert_eq!(m.stats.migration.promoted_4k, 0);
+        // At 1 byte/ns the 4096-byte copy finishes at t=4096.
+        let ev = m.pump_transfers(5000.0);
+        assert!(matches!(&ev[..], [EngineEvent::Ended(e)] if e.id == id && e.aborted.is_none()));
+        assert_eq!(m.locate(VirtPage(3)), Some((TierId::FAST, PageSize::Base)));
+        assert_eq!(m.stats.migration.promoted_4k, 1);
+        assert_eq!(m.stats.migration.in_flight_peak, 1);
+        assert_eq!(m.free_bytes(TierId::CAPACITY), 16 * HUGE_PAGE_SIZE);
+        assert!(m.transfers_idle());
+    }
+
+    #[test]
+    fn store_mid_copy_forces_recopy_then_abort() {
+        let mut cfg = MachineConfig::dram_nvm(4 * HUGE_PAGE_SIZE, 16 * HUGE_PAGE_SIZE);
+        cfg.migration.bandwidth_limit = Some(1.0);
+        cfg.migration.max_recopies = 1;
+        let mut m = Machine::new(cfg);
+        m.alloc_and_map(VirtPage(3), PageSize::Base, TierId::CAPACITY)
+            .unwrap();
+        m.enqueue_migration(VirtPage(3), TierId::FAST, 0, 0.0)
+            .unwrap();
+        m.pump_transfers(10.0);
+        m.access(Access::store(3 * 4096)).unwrap(); // dirties pass 1
+        let ev = m.pump_transfers(4096.0);
+        assert!(ev.is_empty(), "dirty pass restarts silently");
+        m.access(Access::store(3 * 4096)).unwrap(); // dirties pass 2
+        let ev = m.pump_transfers(8192.0);
+        assert!(matches!(
+            &ev[..],
+            [EngineEvent::Ended(e)] if e.aborted == Some(AbortCause::Dirty) && e.wasted_bytes == 2 * 4096
+        ));
+        // Reservation released; page untouched on its source tier.
+        assert_eq!(m.free_bytes(TierId::FAST), 4 * HUGE_PAGE_SIZE);
+        assert_eq!(
+            m.locate(VirtPage(3)),
+            Some((TierId::CAPACITY, PageSize::Base))
+        );
+        assert_eq!(m.stats.migration.aborted, 1);
+        assert_eq!(m.stats.migration.aborted_bytes, 2 * 4096);
+        assert_eq!(m.stats.migration.recopies, 1);
+    }
+
+    #[test]
+    fn abort_releases_reservation_and_duplicates_are_rejected() {
+        let mut m = async_machine();
+        m.alloc_and_map(VirtPage(3), PageSize::Base, TierId::CAPACITY)
+            .unwrap();
+        let h = m
+            .enqueue_migration(VirtPage(3), TierId::FAST, 0, 0.0)
+            .unwrap();
+        assert!(matches!(
+            m.enqueue_migration(VirtPage(3), TierId::FAST, 0, 0.0),
+            Err(SimError::InFlight(_))
+        ));
+        let end = m.abort_transfer(h.transfer_id().unwrap(), 5.0).unwrap();
+        assert_eq!(end.aborted, Some(AbortCause::Cancelled));
+        assert_eq!(m.free_bytes(TierId::FAST), 4 * HUGE_PAGE_SIZE);
+        assert_eq!(m.stats.migration.aborted, 1);
+        // A fresh enqueue is accepted again.
+        assert!(m
+            .enqueue_migration(VirtPage(3), TierId::FAST, 0, 6.0)
+            .is_ok());
+    }
+
+    #[test]
+    fn unmap_during_copy_supersedes_transfer() {
+        let mut m = async_machine();
+        m.alloc_and_map(VirtPage(3), PageSize::Base, TierId::CAPACITY)
+            .unwrap();
+        m.enqueue_migration(VirtPage(3), TierId::FAST, 0, 0.0)
+            .unwrap();
+        m.pump_transfers(10.0);
+        m.unmap_and_free(VirtPage(3), PageSize::Base).unwrap();
+        let ev = m.pump_transfers(1e9);
+        assert!(matches!(
+            &ev[..],
+            [EngineEvent::Ended(e)] if e.aborted == Some(AbortCause::Superseded)
+        ));
+        assert_eq!(m.free_bytes(TierId::FAST), 4 * HUGE_PAGE_SIZE);
+        assert_eq!(m.free_bytes(TierId::CAPACITY), 16 * HUGE_PAGE_SIZE);
+        assert_eq!(m.rss_bytes(), 0);
+    }
+
+    #[test]
+    fn queue_admission_is_bounded() {
+        let mut cfg = MachineConfig::dram_nvm(4 * HUGE_PAGE_SIZE, 16 * HUGE_PAGE_SIZE);
+        cfg.migration.bandwidth_limit = Some(1.0);
+        cfg.migration.queue_depth = 2;
+        let mut m = Machine::new(cfg);
+        for v in 0..3u64 {
+            m.alloc_and_map(VirtPage(v), PageSize::Base, TierId::CAPACITY)
+                .unwrap();
+        }
+        m.enqueue_migration(VirtPage(0), TierId::FAST, 0, 0.0)
+            .unwrap();
+        m.enqueue_migration(VirtPage(1), TierId::FAST, 0, 0.0)
+            .unwrap();
+        assert!(matches!(
+            m.enqueue_migration(VirtPage(2), TierId::FAST, 0, 0.0),
+            Err(SimError::QueueFull)
+        ));
+        // Back-pressure is not a failure.
+        assert_eq!(m.stats.migration.failed, 0);
+        // Once one transfer starts copying, a queue slot frees up.
+        m.pump_transfers(1.0);
+        assert!(m
+            .enqueue_migration(VirtPage(2), TierId::FAST, 0, 1.0)
+            .is_ok());
+        assert_eq!(m.stats.migration.in_flight_peak, 3);
+    }
+
+    #[test]
+    fn contention_penalty_applies_only_while_copying() {
+        let mut m = async_machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Base, TierId::CAPACITY)
+            .unwrap();
+        m.alloc_and_map(VirtPage(1), PageSize::Base, TierId::CAPACITY)
+            .unwrap();
+        let quiet = m.access(Access::load(0)).unwrap();
+        m.enqueue_migration(VirtPage(1), TierId::FAST, 0, 0.0)
+            .unwrap();
+        m.pump_transfers(10.0); // transfer now copying on the DRAM<->NVM link
+        let contended = m.access(Access::load(2 * 64)).unwrap();
+        assert!(contended.llc_miss);
+        assert_eq!(
+            contended.latency_ns,
+            quiet.latency_ns - 4.0 * 25.0 + 25.0,
+            "TLB now hits; the LLC miss pays the contention penalty"
         );
     }
 

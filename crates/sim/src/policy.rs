@@ -11,6 +11,7 @@
 
 use crate::access::{Access, AccessOutcome};
 use crate::addr::{PageSize, TierId, VirtPage};
+use crate::engine::{AbortCause, MigrationHandle, TransferEnd, TransferId};
 use crate::error::{SimError, SimResult};
 use crate::machine::{Machine, MigrateOutcome, SplitOutcome};
 use crate::page_table::EntryMut;
@@ -146,12 +147,37 @@ impl<'a> PolicyOps<'a> {
         }
     }
 
-    /// Migrates a page; the cost is charged to the current sink. Success
-    /// traces a `Promotion`/`Demotion` (plus the migration's TLB shootdown);
-    /// failure traces a `MigrationFailed` with the mapped cause.
-    pub fn migrate(&mut self, vpage: VirtPage, dst: TierId) -> SimResult<MigrateOutcome> {
-        match self.machine.migrate(vpage, dst) {
-            Ok(out) => {
+    /// Requests a migration at default (lowest) priority.
+    ///
+    /// This is the sync-completion shim most policies use: with the engine
+    /// disabled (no bandwidth limit) the returned handle is always
+    /// [`MigrationHandle::Done`] and behavior is identical to the old
+    /// synchronous `migrate`; under bandwidth arbitration the move becomes
+    /// an in-flight transfer whose completion or abort is reported through
+    /// [`TieringPolicy::on_transfer_end`].
+    pub fn migrate(&mut self, vpage: VirtPage, dst: TierId) -> SimResult<MigrationHandle> {
+        self.enqueue_migration(vpage, dst, 0)
+    }
+
+    /// Requests a migration with an explicit arbitration priority (higher
+    /// wins the link first; ties resolve in admission order).
+    ///
+    /// Synchronous completion charges the copy cost to the current sink and
+    /// traces the legacy `Promotion`/`Demotion` + `TlbShootdown` pair.
+    /// Asynchronous admission charges nothing here — the copy occupies link
+    /// bandwidth, not daemon CPU — and traces `MigrationEnqueued`; failure
+    /// traces `MigrationFailed` with the mapped cause.
+    pub fn enqueue_migration(
+        &mut self,
+        vpage: VirtPage,
+        dst: TierId,
+        priority: u8,
+    ) -> SimResult<MigrationHandle> {
+        match self
+            .machine
+            .enqueue_migration(vpage, dst, priority, self.now_ns)
+        {
+            Ok(MigrationHandle::Done(out)) => {
                 self.charge(out.cost_ns);
                 if self.tracing() {
                     let kind = if out.to.0 < out.from.0 {
@@ -175,7 +201,24 @@ impl<'a> PolicyOps<'a> {
                         cause: ShootdownCause::Migration,
                     });
                 }
-                Ok(out)
+                Ok(MigrationHandle::Done(out))
+            }
+            Ok(
+                h @ MigrationHandle::InFlight {
+                    from, to, bytes, ..
+                },
+            ) => {
+                if self.tracing() {
+                    let queue_depth = self.machine.transfer_queue_len() as u64;
+                    self.emit(EventKind::MigrationEnqueued {
+                        vpage: vpage.0,
+                        from: from.0,
+                        to: to.0,
+                        bytes,
+                        queue_depth,
+                    });
+                }
+                Ok(h)
             }
             Err(e) => {
                 if self.tracing() {
@@ -188,6 +231,33 @@ impl<'a> PolicyOps<'a> {
                 Err(e)
             }
         }
+    }
+
+    /// Aborts a queued or copying transfer (e.g. the page is no longer
+    /// worth moving). Returns the terminal record, or `None` if the id is
+    /// unknown — it already completed or aborted.
+    pub fn abort_transfer(&mut self, id: TransferId) -> Option<TransferEnd> {
+        let end = self.machine.abort_transfer(id, self.now_ns)?;
+        if self.tracing() {
+            self.emit(EventKind::MigrationAborted {
+                vpage: end.vpage.0,
+                to: end.to.0,
+                bytes: end.bytes,
+                wasted_bytes: end.wasted_bytes,
+                cause: abort_failure(end.aborted.unwrap_or(AbortCause::Cancelled)),
+            });
+        }
+        Some(end)
+    }
+
+    /// The transfer covering base page `vpage`, if any.
+    pub fn transfer_for(&self, vpage: VirtPage) -> Option<TransferId> {
+        self.machine.transfer_for(vpage)
+    }
+
+    /// Transfers currently queued behind the engine's links.
+    pub fn transfer_queue_len(&self) -> usize {
+        self.machine.transfer_queue_len()
     }
 
     /// Splits a huge page; the cost is charged to the current sink.
@@ -304,6 +374,15 @@ fn failure_cause(e: &SimError) -> MigrationFailure {
     }
 }
 
+/// Maps an engine abort cause to the traced migration-failure cause.
+pub fn abort_failure(cause: AbortCause) -> MigrationFailure {
+    match cause {
+        AbortCause::Cancelled => MigrationFailure::Cancelled,
+        AbortCause::Dirty => MigrationFailure::Dirty,
+        AbortCause::Superseded => MigrationFailure::Superseded,
+    }
+}
+
 /// A tiered-memory management policy.
 ///
 /// All hooks receive a [`PolicyOps`] whose cost sink is pre-set by the
@@ -354,6 +433,13 @@ pub trait TieringPolicy {
     /// Periodic background tick (daemon context).
     fn tick(&mut self, _ops: &mut PolicyOps<'_>) {}
 
+    /// An in-flight transfer this policy enqueued reached a terminal state:
+    /// completed (`end.aborted == None`) or aborted. Called by the driver in
+    /// daemon context as it pumps the migration engine. Policies tracking
+    /// in-flight work (e.g. to clear an "in promotion queue" bit) clean up
+    /// here; the default ignores it.
+    fn on_transfer_end(&mut self, _ops: &mut PolicyOps<'_>, _end: &TransferEnd) {}
+
     /// Cores consumed by always-on dedicated daemon threads (e.g. HeMem's
     /// busy sampling thread), on top of work charged through [`PolicyOps`].
     fn dedicated_daemon_cores(&self) -> f64 {
@@ -395,6 +481,9 @@ impl TieringPolicy for Box<dyn TieringPolicy> {
     }
     fn tick(&mut self, ops: &mut PolicyOps<'_>) {
         (**self).tick(ops)
+    }
+    fn on_transfer_end(&mut self, ops: &mut PolicyOps<'_>, end: &TransferEnd) {
+        (**self).on_transfer_end(ops, end)
     }
     fn dedicated_daemon_cores(&self) -> f64 {
         (**self).dedicated_daemon_cores()
@@ -459,8 +548,45 @@ mod tests {
         let mut acct = CostAccounting::default();
         let mut ops = PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
         let out = ops.migrate(VirtPage(0), TierId::FAST).unwrap();
-        assert!(acct.daemon_ns >= out.cost_ns);
+        let done = out.outcome().expect("unlimited mode completes in place");
+        assert!(acct.daemon_ns >= done.cost_ns);
         assert_eq!(acct.app_extra_ns, 0.0);
+    }
+
+    #[test]
+    fn bandwidth_limited_enqueue_is_uncharged_and_traced() {
+        use memtis_obs::TracingObserver;
+        let mut cfg = MachineConfig::dram_nvm(HUGE_PAGE_SIZE, 4 * HUGE_PAGE_SIZE);
+        cfg.migration.bandwidth_limit = Some(1.0);
+        let mut m = Machine::new(cfg);
+        m.alloc_and_map(VirtPage(0), PageSize::Base, TierId::CAPACITY)
+            .unwrap();
+        let mut acct = CostAccounting::default();
+        let mut obs = TracingObserver::new();
+        let handle = {
+            let mut ops =
+                PolicyOps::with_observer(&mut m, &mut acct, CostSink::Daemon, 0.0, Some(&mut obs));
+            ops.migrate(VirtPage(0), TierId::FAST).unwrap()
+        };
+        assert!(!handle.is_done());
+        // The copy occupies link bandwidth, not daemon CPU.
+        assert_eq!(acct.daemon_ns, 0.0);
+        assert!(obs
+            .ring
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MigrationEnqueued { vpage: 0, .. })));
+        // Aborting through the ops handle traces the terminal record.
+        let id = handle.transfer_id().unwrap();
+        let end = {
+            let mut ops =
+                PolicyOps::with_observer(&mut m, &mut acct, CostSink::Daemon, 0.0, Some(&mut obs));
+            ops.abort_transfer(id).unwrap()
+        };
+        assert_eq!(end.aborted, Some(AbortCause::Cancelled));
+        assert!(obs
+            .ring
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MigrationAborted { vpage: 0, .. })));
     }
 
     #[test]

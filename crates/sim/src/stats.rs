@@ -23,6 +23,16 @@ pub struct MigrationStats {
     /// Queued migrations dropped by the policy at re-validation (the page
     /// was freed, reclassified, or already moved since it was enqueued).
     pub cancelled: u64,
+    /// In-flight transfers that ended without remapping the page (policy
+    /// abort, dirty re-copy budget exhausted, or mapping superseded).
+    pub aborted: u64,
+    /// Copy work discarded by aborts, in bytes (whole passes; an
+    /// interrupted pass counts as a full pass).
+    pub aborted_bytes: u64,
+    /// Copy passes restarted because a store dirtied the source mid-copy.
+    pub recopies: u64,
+    /// Peak number of simultaneously queued + copying transfers.
+    pub in_flight_peak: u64,
 }
 
 impl MigrationStats {

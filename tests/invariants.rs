@@ -206,6 +206,18 @@ proptest! {
 // Machine-level invariants.
 // ---------------------------------------------------------------------------
 
+#[derive(Debug, Clone)]
+enum AsyncOp {
+    /// Enqueue a migration of page N toward FAST (true) or CAPACITY.
+    Enqueue(u64, bool),
+    /// Advance the simulated clock and pump the engine.
+    Pump(u64),
+    /// Abort page N's transfer if one is in flight.
+    Abort(u64),
+    /// Store into page N, dirtying any in-flight copy of it.
+    Store(u64),
+}
+
 proptest! {
     /// Migrations conserve pages: whatever sequence of migrations runs,
     /// every page stays mapped, tier usage sums to RSS, and no tier
@@ -230,6 +242,84 @@ proptest! {
                 prop_assert!(m.locate(VirtPage(i * 512)).is_some());
             }
         }
+    }
+
+    /// Asynchronous migration engine: under arbitrary interleavings of
+    /// enqueues, pumps, aborts, and dirtying stores, no page is ever lost,
+    /// duplicated, or double-mapped; tier accounting equals RSS plus the
+    /// destination reservations of in-flight transfers; and draining the
+    /// engine returns accounting to exactly RSS.
+    #[test]
+    fn async_migrations_conserve_pages(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0u64..6, prop::bool::ANY).prop_map(|(p, f)| AsyncOp::Enqueue(p, f)),
+                (1_000u64..3_000_000).prop_map(AsyncOp::Pump),
+                (0u64..6).prop_map(AsyncOp::Abort),
+                (0u64..6).prop_map(AsyncOp::Store),
+            ],
+            1..80,
+        )
+    ) {
+        let mut cfg = MachineConfig::dram_nvm(4 * HUGE_PAGE_SIZE, 8 * HUGE_PAGE_SIZE);
+        cfg.migration.bandwidth_limit = Some(1.0);
+        let mut m = Machine::new(cfg);
+        for i in 0..6u64 {
+            m.alloc_and_map(VirtPage(i * 512), PageSize::Huge, TierId::CAPACITY).unwrap();
+        }
+        let rss = m.rss_bytes();
+        let mut now = 0.0f64;
+        let check = |m: &Machine| -> Result<(), TestCaseError> {
+            prop_assert_eq!(m.rss_bytes(), rss);
+            let used: u64 = (0..2).map(|t| m.used_bytes(TierId(t))).sum();
+            let reserved = m.transfers_in_flight() as u64 * HUGE_PAGE_SIZE;
+            prop_assert_eq!(used, rss + reserved);
+            prop_assert!(m.used_bytes(TierId::FAST) <= m.capacity_bytes(TierId::FAST));
+            let mut frames = std::collections::HashSet::new();
+            for i in 0..6u64 {
+                let vp = VirtPage(i * 512);
+                prop_assert!(m.locate(vp).is_some(), "page lost");
+                let tr = m.translate(vp).expect("mapped");
+                prop_assert!(frames.insert(tr.frame), "frame double-mapped");
+            }
+            Ok(())
+        };
+        for op in ops {
+            match op {
+                AsyncOp::Enqueue(p, to_fast) => {
+                    let dst = if to_fast { TierId::FAST } else { TierId::CAPACITY };
+                    let _ = m.enqueue_migration(VirtPage(p * 512), dst, 0, now);
+                }
+                AsyncOp::Pump(dt) => {
+                    now += dt as f64;
+                    let _ = m.pump_transfers(now);
+                }
+                AsyncOp::Abort(p) => {
+                    if let Some(id) = m.transfer_for(VirtPage(p * 512)) {
+                        let end = m.abort_transfer(id, now).expect("listed transfer aborts");
+                        prop_assert!(end.aborted.is_some());
+                    }
+                }
+                AsyncOp::Store(p) => {
+                    let _ = m.access(Access::store(p * HUGE_PAGE_SIZE + 64)).unwrap();
+                }
+            }
+            check(&m)?;
+        }
+        // Drain: stop issuing work and pump the clock forward; everything
+        // still in flight must complete or dirty-abort, after which tier
+        // usage is exactly RSS again.
+        for _ in 0..64 {
+            if m.transfers_idle() {
+                break;
+            }
+            now += 10_000_000.0;
+            let _ = m.pump_transfers(now);
+        }
+        prop_assert!(m.transfers_idle(), "engine failed to drain");
+        check(&m)?;
+        let used: u64 = (0..2).map(|t| m.used_bytes(TierId(t))).sum();
+        prop_assert_eq!(used, rss);
     }
 
     /// Accesses never corrupt placement: executing an arbitrary access
