@@ -3,9 +3,9 @@
 //! ```text
 //! memtis run  <benchmark> [--ratio 1:8] [--policy memtis] [--cxl] [--accesses N]
 //!             [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
-//!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]
+//!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--faults SPEC]
 //! memtis compare <benchmark> [--ratio 1:8] [--cxl] [--accesses N]
-//!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]
+//!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--faults SPEC]
 //! memtis list
 //! ```
 //!
@@ -62,6 +62,7 @@ struct Opts {
     window: u64,
     migration_bw: Option<f64>,
     migration_queue: Option<usize>,
+    faults: Option<memtis_sim::faults::FaultPlan>,
 }
 
 impl Opts {
@@ -71,6 +72,7 @@ impl Opts {
         let mut d = driver_config();
         d.migration_bw = self.migration_bw;
         d.migration_queue = self.migration_queue;
+        d.faults = self.faults;
         d
     }
 }
@@ -88,6 +90,7 @@ fn parse_opts(args: &[String]) -> Opts {
         window: DEFAULT_WINDOW_EVENTS,
         migration_bw: None,
         migration_queue: None,
+        faults: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -140,6 +143,23 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--migration-queue" => {
                 o.migration_queue = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--faults" => {
+                match args
+                    .get(i + 1)
+                    .map(|s| memtis_sim::faults::FaultPlan::parse(s))
+                {
+                    Some(Ok(plan)) => o.faults = Some(plan),
+                    Some(Err(e)) => {
+                        eprintln!("error: bad --faults spec: {e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("error: --faults needs a spec");
+                        std::process::exit(2);
+                    }
+                }
                 i += 2;
             }
             _ => i += 1,
@@ -197,6 +217,7 @@ fn main() {
                     let mut driver = driver_config_with_window(o.window);
                     driver.migration_bw = o.migration_bw;
                     driver.migration_queue = o.migration_queue;
+                    driver.faults = o.faults;
                     let (r, obs) = run_cell_traced(
                         bench,
                         Scale::DEFAULT,
@@ -260,6 +281,14 @@ fn main() {
             );
             println!("  daemon CPU        : {:.2} cores", r.daemon_core_usage());
             println!("  app-path overhead : {:.2} ms", r.app_extra_ns / 1e6);
+            if o.faults.is_some() {
+                println!(
+                    "  faults injected   : {} ({:?})",
+                    r.faults.total(),
+                    r.faults
+                );
+                println!("  hist underflows   : {}", r.hist_underflows);
+            }
             let thpt: Vec<f64> = r.timeline.iter().map(|s| s.window_throughput).collect();
             let fhr: Vec<f64> = r.timeline.iter().map(|s| s.window_fast_hit_ratio).collect();
             if !thpt.is_empty() {

@@ -5,7 +5,12 @@
 //! probe [<benchmark>] [<ratio>] [<system>|all] [--test-scale]
 //!       [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
 //!       [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]
+//!       [--faults SPEC]
 //! ```
+//!
+//! `--faults` takes a seeded fault plan, e.g.
+//! `seed=7,abort=0.02,dirty=0.05,drop=0.05,outage=400000:50000`
+//! (see `memtis_sim::faults::FaultPlan::parse`).
 //!
 //! With `--trace-out`, the first selected system's run is re-executed under
 //! a tracing observer and the event/window trace is written to PATH.
@@ -66,6 +71,7 @@ fn main() {
     let mut scale = Scale::DEFAULT;
     let mut migration_bw: Option<f64> = None;
     let mut migration_queue: Option<usize> = None;
+    let mut faults: Option<memtis_sim::faults::FaultPlan> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,6 +106,23 @@ fn main() {
             }
             "--migration-queue" => {
                 migration_queue = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--faults" => {
+                match args
+                    .get(i + 1)
+                    .map(|s| memtis_sim::faults::FaultPlan::parse(s))
+                {
+                    Some(Ok(plan)) => faults = Some(plan),
+                    Some(Err(e)) => {
+                        eprintln!("error: bad --faults spec: {e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("error: --faults needs a spec");
+                        std::process::exit(2);
+                    }
+                }
                 i += 2;
             }
             other => {
@@ -137,6 +160,7 @@ fn main() {
     let mut driver = memtis_bench::driver_config();
     driver.migration_bw = migration_bw;
     driver.migration_queue = migration_queue;
+    driver.faults = faults;
     let base = run_baseline(bench, scale, CapacityKind::Nvm);
     println!(
         "baseline all-NVM: wall={:.2}ms thpt={:.1}M/s llc_miss={:.3}",
@@ -167,6 +191,12 @@ fn main() {
             r.llc.miss_ratio(),
             r.app_access_ns / r.accesses as f64,
         );
+        if faults.is_some() {
+            println!(
+                "  faults: {:?} hist_underflows={}",
+                r.faults, r.hist_underflows
+            );
+        }
         if sys == System::Memtis {
             probe_memtis(bench, ratio, scale);
         }
@@ -178,6 +208,7 @@ fn main() {
         let mut traced_driver = driver_config_with_window(window);
         traced_driver.migration_bw = migration_bw;
         traced_driver.migration_queue = migration_queue;
+        traced_driver.faults = faults;
         let (report, obs) = run_cell_traced(
             bench,
             scale,

@@ -4,7 +4,7 @@
 //! sweep [--jobs N] [--systems memtis,tpp,...] [--benches roms,btree,...]
 //!       [--ratios 1:8,1:16] [--seeds K] [--accesses N] [--window EVENTS]
 //!       [--cxl] [--test-scale] [--migration-bw BYTES_PER_NS]
-//!       [--migration-queue DEPTH]
+//!       [--migration-queue DEPTH] [--faults SPEC]
 //! ```
 //!
 //! Runs the (policy × workload × ratio × seed) matrix across worker
@@ -69,7 +69,7 @@ fn usage() -> ! {
         "usage: sweep [--jobs N] [--systems a,b,..] [--benches x,y,..] \
          [--ratios F:C,..] [--seeds K] [--accesses N] [--window EVENTS] \
          [--cxl] [--test-scale] [--migration-bw BYTES_PER_NS] \
-         [--migration-queue DEPTH]"
+         [--migration-queue DEPTH] [--faults SPEC]"
     );
     std::process::exit(2);
 }
@@ -91,6 +91,7 @@ fn main() {
     let mut window_events = DEFAULT_WINDOW_EVENTS;
     let mut migration_bw: Option<f64> = None;
     let mut migration_queue: Option<usize> = None;
+    let mut faults: Option<memtis_sim::faults::FaultPlan> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -137,6 +138,16 @@ fn main() {
                 migration_queue = Some(value(i + 1).parse().unwrap_or_else(|_| usage()));
                 i += 2;
             }
+            "--faults" => {
+                match memtis_sim::faults::FaultPlan::parse(value(i + 1)) {
+                    Ok(plan) => faults = Some(plan),
+                    Err(e) => {
+                        eprintln!("error: bad --faults spec: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
             "--cxl" => {
                 kind = CapacityKind::Cxl;
                 i += 1;
@@ -171,6 +182,7 @@ fn main() {
         window_events,
         migration_bw,
         migration_queue,
+        faults,
     };
     let result = run_sweep(&cells, &cfg);
     emit_sweep("sweep", &result);

@@ -128,6 +128,7 @@ pub fn driver_config_with_window(window_events: u64) -> DriverConfig {
         window_events,
         migration_bw: None,
         migration_queue: None,
+        faults: None,
     }
 }
 

@@ -119,6 +119,8 @@ pub struct SweepConfig {
     pub migration_bw: Option<f64>,
     /// Migration admission-queue depth override applied to every cell.
     pub migration_queue: Option<usize>,
+    /// Seeded fault plan applied to every cell; `None` runs fault-free.
+    pub faults: Option<memtis_sim::faults::FaultPlan>,
 }
 
 impl SweepConfig {
@@ -132,6 +134,7 @@ impl SweepConfig {
             window_events: DEFAULT_WINDOW_EVENTS,
             migration_bw: None,
             migration_queue: None,
+            faults: None,
         }
     }
 }
@@ -193,6 +196,7 @@ pub fn run_sweep_cell(cell: SweepCell, cfg: &SweepConfig) -> RunReport {
     let mut driver = driver_config_with_window(cfg.window_events);
     driver.migration_bw = cfg.migration_bw;
     driver.migration_queue = cfg.migration_queue;
+    driver.faults = cfg.faults;
     run_cell_seeded(
         cell.bench,
         cfg.scale,
@@ -363,6 +367,7 @@ mod tests {
             window_events: 1_000,
             migration_bw: None,
             migration_queue: None,
+            faults: None,
         }
     }
 

@@ -29,6 +29,7 @@ pub fn bin_of(hotness: u64) -> usize {
 #[derive(Debug, Clone, Default)]
 pub struct AccessHistogram {
     bins: [u64; NUM_BINS],
+    underflows: u64,
 }
 
 impl AccessHistogram {
@@ -65,14 +66,26 @@ impl AccessHistogram {
 
     /// Removes `pages_4k` pages from bin `b`.
     ///
-    /// # Panics
-    ///
-    /// Panics (in debug builds) if the bin would underflow — that indicates
-    /// the caller's page metadata went out of sync with the histogram.
+    /// An attempted removal beyond the bin's count means the caller's page
+    /// metadata went out of sync with the histogram. This used to saturate
+    /// silently in release builds (and panic only in debug), masking the
+    /// corruption; now every underflowed page is tallied in
+    /// [`AccessHistogram::underflows`] identically in all build profiles so
+    /// callers can surface the desync instead of hiding it.
     #[inline]
     pub fn remove(&mut self, b: usize, pages_4k: u64) {
-        debug_assert!(self.bins[b] >= pages_4k, "histogram underflow in bin {b}");
-        self.bins[b] = self.bins[b].saturating_sub(pages_4k);
+        if self.bins[b] < pages_4k {
+            self.underflows += pages_4k - self.bins[b];
+            self.bins[b] = 0;
+        } else {
+            self.bins[b] -= pages_4k;
+        }
+    }
+
+    /// Total pages (4 KiB units) that `remove()` was asked to take out of
+    /// bins that did not hold them. Zero on healthy runs.
+    pub fn underflows(&self) -> u64 {
+        self.underflows
     }
 
     /// Moves `pages_4k` pages from bin `from` to bin `to` (no-op if equal).
@@ -167,6 +180,25 @@ mod tests {
         for h in 2u64..(1 << 15) {
             assert_eq!(bin_of(h / 2), bin_of(h).saturating_sub(1), "h={h}");
         }
+    }
+
+    #[test]
+    fn underflow_is_counted_not_masked() {
+        let mut h = AccessHistogram::new();
+        h.add(5, 3);
+        assert_eq!(h.underflows(), 0);
+        // Ask for more pages than the bin holds: the bin empties, and the
+        // excess is tallied instead of silently saturating away.
+        h.remove(5, 10);
+        assert_eq!(h.pages_in(5), 0);
+        assert_eq!(h.underflows(), 7);
+        // Removing from an empty bin counts the full amount.
+        h.remove(0, 2);
+        assert_eq!(h.underflows(), 9);
+        // Healthy removals never move the counter.
+        h.add(1, 4);
+        h.remove(1, 4);
+        assert_eq!(h.underflows(), 9);
     }
 
     #[test]

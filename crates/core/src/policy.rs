@@ -67,6 +67,9 @@ pub struct MemtisStats {
     /// In-flight promotions aborted because the page cooled below the hot
     /// threshold before the copy finished.
     pub inflight_cancels: u64,
+    /// Promotions re-enqueued after their transfer aborted (dirty re-copy
+    /// exhaustion, forced fault, …) while the page was still hot.
+    pub abort_retries: u64,
 }
 
 /// The MEMTIS policy.
@@ -940,7 +943,7 @@ impl TieringPolicy for MemtisPolicy {
         }
     }
 
-    fn on_transfer_end(&mut self, _ops: &mut PolicyOps<'_>, end: &TransferEnd) {
+    fn on_transfer_end(&mut self, ops: &mut PolicyOps<'_>, end: &TransferEnd) {
         let Some(idx) = self.in_flight.iter().position(|&(_, id, _)| id == end.id) else {
             return;
         };
@@ -959,6 +962,25 @@ impl TieringPolicy for MemtisPolicy {
                 self.stats.promoted_4k += pages;
             } else {
                 self.stats.demoted_4k += pages;
+            }
+        } else if dst == TierId::FAST {
+            // Aborted promotion (dirty re-copy exhaustion, forced fault, …):
+            // if the page is still hot and still on the capacity tier, retry
+            // on a later tick rather than losing it until the next sample.
+            let still_hot = self
+                .pages
+                .get(vpage)
+                .is_some_and(|m| self.thr.is_hot(m.bin as usize));
+            let still_remote = ops
+                .locate(vpage)
+                .is_some_and(|(tier, _)| tier != TierId::FAST);
+            if still_hot && still_remote {
+                let meta = self.pages.get_mut(vpage).expect("present");
+                if !meta.in_promo {
+                    meta.in_promo = true;
+                    self.promo.push_back(vpage);
+                    self.stats.abort_retries += 1;
+                }
             }
         }
     }
@@ -985,6 +1007,10 @@ impl TieringPolicy for MemtisPolicy {
 
     fn histogram_bins(&self, out: &mut Vec<u64>) {
         out.extend_from_slice(self.page_hist.bins());
+    }
+
+    fn hist_underflows(&self) -> u64 {
+        self.page_hist.underflows() + self.base_hist.underflows()
     }
 }
 

@@ -44,6 +44,48 @@ impl MigrationFailure {
     }
 }
 
+/// What a fault-injection plan perturbed (see `memtis-sim`'s `faults`
+/// module). Carried by [`EventKind::FaultInjected`] so chaos runs leave an
+/// auditable record of every perturbation in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An in-flight transfer was forcibly aborted.
+    ForcedAbort,
+    /// A dirty store was injected into an active copy pass.
+    InjectedDirty,
+    /// A migration link went down for a window (bandwidth lost).
+    LinkOutage,
+    /// A PEBS sample was dropped before the policy saw it.
+    SampleDrop,
+    /// A PEBS sample was delivered twice.
+    SampleDup,
+    /// A `kmigrated` wakeup was skipped outright.
+    TickSkip,
+    /// A `kmigrated` wakeup was delayed.
+    TickDelay,
+    /// A tier-capacity pressure spike began (frames stolen).
+    PressureSpike,
+    /// A pressure spike ended (stolen frames released).
+    PressureRelease,
+}
+
+impl FaultKind {
+    /// Stable lower-case label used by the exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::ForcedAbort => "forced_abort",
+            FaultKind::InjectedDirty => "injected_dirty",
+            FaultKind::LinkOutage => "link_outage",
+            FaultKind::SampleDrop => "sample_drop",
+            FaultKind::SampleDup => "sample_dup",
+            FaultKind::TickSkip => "tick_skip",
+            FaultKind::TickDelay => "tick_delay",
+            FaultKind::PressureSpike => "pressure_spike",
+            FaultKind::PressureRelease => "pressure_release",
+        }
+    }
+}
+
 /// What triggered a TLB shootdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShootdownCause {
@@ -222,6 +264,19 @@ pub enum EventKind {
         /// Why the transfer died.
         cause: MigrationFailure,
     },
+    /// The fault-injection layer perturbed the run.
+    FaultInjected {
+        /// What was perturbed.
+        fault: FaultKind,
+        /// Virtual page number the fault targeted (0 when not page-scoped).
+        vpage: u64,
+    },
+    /// `AccessHistogram::remove` underflowed a bin: histogram/metadata
+    /// desync that release builds previously saturated away silently.
+    HistUnderflow {
+        /// Underflows detected since the previous report.
+        count: u64,
+    },
 }
 
 impl EventKind {
@@ -241,6 +296,8 @@ impl EventKind {
             EventKind::MigrationStarted { .. } => "migration_started",
             EventKind::MigrationCompleted { .. } => "migration_completed",
             EventKind::MigrationAborted { .. } => "migration_aborted",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::HistUnderflow { .. } => "hist_underflow",
         }
     }
 }

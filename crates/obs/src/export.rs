@@ -142,6 +142,12 @@ fn push_kind_fields(out: &mut String, kind: &EventKind) {
                 cause.label()
             );
         }
+        EventKind::FaultInjected { fault, vpage } => {
+            let _ = write!(out, r#","fault":"{}","vpage":{vpage}"#, fault.label());
+        }
+        EventKind::HistUnderflow { count } => {
+            let _ = write!(out, r#","count":{count}"#);
+        }
     }
 }
 
@@ -244,8 +250,10 @@ fn perfetto_tid(kind: &EventKind) -> u32 {
         | EventKind::MigrationEnqueued { .. }
         | EventKind::MigrationStarted { .. }
         | EventKind::MigrationCompleted { .. }
-        | EventKind::MigrationAborted { .. } => 2,
+        | EventKind::MigrationAborted { .. }
+        | EventKind::FaultInjected { .. } => 2,
         EventKind::Split { .. } | EventKind::Collapse { .. } => 3,
+        EventKind::HistUnderflow { .. } => 1,
     }
 }
 
@@ -326,7 +334,7 @@ pub fn export_perfetto(obs: &TracingObserver, windows: &[WindowSample]) -> Strin
 }
 
 /// All event-kind labels the JSONL validator accepts.
-const KNOWN_KINDS: [&str; 13] = [
+const KNOWN_KINDS: [&str; 15] = [
     "promotion",
     "demotion",
     "split",
@@ -340,6 +348,8 @@ const KNOWN_KINDS: [&str; 13] = [
     "migration_started",
     "migration_completed",
     "migration_aborted",
+    "fault_injected",
+    "hist_underflow",
 ];
 
 /// Summary returned by a successful [`validate_jsonl`] pass.

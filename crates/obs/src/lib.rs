@@ -29,7 +29,7 @@ pub mod registry;
 pub mod ring;
 pub mod window;
 
-pub use event::{Event, EventKind, MigrationFailure, ShootdownCause, ThresholdCause};
+pub use event::{Event, EventKind, FaultKind, MigrationFailure, ShootdownCause, ThresholdCause};
 pub use export::{
     export_jsonl, export_perfetto, validate_jsonl, validate_perfetto, JsonlSummary, JSONL_SCHEMA,
 };

@@ -138,6 +138,8 @@ impl Observer for TracingObserver {
                 }
             }
             EventKind::MigrationAborted { .. } => r.inc(CounterId::MigrationsAborted),
+            EventKind::FaultInjected { .. } => r.inc(CounterId::FaultsInjected),
+            EventKind::HistUnderflow { count } => r.add(CounterId::HistUnderflow, count),
         }
         self.ring.push(event);
         self.registry

@@ -43,11 +43,15 @@ pub enum CounterId {
     MigrationsEnqueued,
     /// In-flight transfers that ended without remapping the page.
     MigrationsAborted,
+    /// Perturbations applied by the fault-injection layer.
+    FaultsInjected,
+    /// Histogram bin underflows (metadata/histogram desync) detected.
+    HistUnderflow,
 }
 
 impl CounterId {
     /// All counters, in registry order.
-    pub const ALL: [CounterId; 15] = [
+    pub const ALL: [CounterId; 17] = [
         CounterId::EventsRecorded,
         CounterId::EventsDropped,
         CounterId::Promotions,
@@ -63,6 +67,8 @@ impl CounterId {
         CounterId::MigrationsCancelled,
         CounterId::MigrationsEnqueued,
         CounterId::MigrationsAborted,
+        CounterId::FaultsInjected,
+        CounterId::HistUnderflow,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -83,6 +89,8 @@ impl CounterId {
             CounterId::MigrationsCancelled => "migrations_cancelled",
             CounterId::MigrationsEnqueued => "migrations_enqueued",
             CounterId::MigrationsAborted => "migrations_aborted",
+            CounterId::FaultsInjected => "faults_injected",
+            CounterId::HistUnderflow => "hist_underflow",
         }
     }
 }

@@ -15,12 +15,15 @@
 //!   exactly like a PEBS buffer overflow, rather than stalling the app.
 //! - **All migration happens asynchronously** in the `kmigrated` thread.
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use memtis_core::{MemtisConfig, MemtisPolicy};
 use memtis_sim::engine::EngineEvent;
+use memtis_sim::faults::{
+    FaultInjector, FaultPlan, SampleFate, TickFate, DRIVER_FAULT_SALT, RUNTIME_TICK_FAULT_SALT,
+};
 use memtis_sim::prelude::{
-    Access, AccessOutcome, CostAccounting, CostSink, Machine, MachineConfig, PolicyOps, SimResult,
-    TierId, TieringPolicy,
+    Access, AccessOutcome, CostAccounting, CostSink, FaultCounters, Machine, MachineConfig,
+    PolicyOps, SimResult, TierId, TieringPolicy,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,6 +49,14 @@ pub struct RuntimeStats {
     pub samples_dropped: AtomicU64,
     /// `kmigrated` wakeups.
     pub migration_wakeups: AtomicU64,
+    /// Samples discarded by fault injection (on top of buffer overflows).
+    pub fault_samples_dropped: AtomicU64,
+    /// Samples delivered twice by fault injection.
+    pub fault_samples_duped: AtomicU64,
+    /// `kmigrated` wakeups skipped by fault injection.
+    pub fault_ticks_skipped: AtomicU64,
+    /// `kmigrated` wakeups delayed by fault injection.
+    pub fault_ticks_delayed: AtomicU64,
 }
 
 /// Handle to a running tiered-memory runtime.
@@ -65,7 +76,31 @@ impl Runtime {
     /// `wakeup` is the `kmigrated` period in real (host) time, standing in
     /// for the paper's 500 ms.
     pub fn start(machine_cfg: MachineConfig, memtis_cfg: MemtisConfig, wakeup: Duration) -> Self {
-        let machine = Arc::new(Mutex::new(Machine::new(machine_cfg)));
+        Self::start_with_faults(machine_cfg, memtis_cfg, wakeup, &FaultPlan::default())
+    }
+
+    /// Like [`Runtime::start`], but with a seeded fault plan. Machine-level
+    /// faults (forced aborts, injected dirty stores, link outages, tier
+    /// pressure) are applied inside `kmigrated`'s pump; `ksampled` rolls
+    /// sample drops/duplicates and `kmigrated` rolls wakeup skips/delays
+    /// from independent per-thread RNG streams. Real-thread scheduling is
+    /// inherently nondeterministic, so — unlike the simulation driver —
+    /// only the fault *rates* are reproducible here, not exact schedules.
+    pub fn start_with_faults(
+        machine_cfg: MachineConfig,
+        memtis_cfg: MemtisConfig,
+        wakeup: Duration,
+        plan: &FaultPlan,
+    ) -> Self {
+        let mut machine = Machine::new(machine_cfg);
+        if !plan.is_inert() {
+            machine.install_faults(plan);
+        }
+        let sample_faults =
+            (!plan.is_inert()).then(|| FaultInjector::new(*plan, DRIVER_FAULT_SALT));
+        let tick_faults =
+            (!plan.is_inert()).then(|| FaultInjector::new(*plan, RUNTIME_TICK_FAULT_SALT));
+        let machine = Arc::new(Mutex::new(machine));
         let policy = Arc::new(Mutex::new(MemtisPolicy::new(memtis_cfg)));
         let (tx, rx): (Sender<SampleMsg>, Receiver<SampleMsg>) = bounded(4096);
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -79,6 +114,7 @@ impl Runtime {
             let policy = Arc::clone(&policy);
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
+            let mut faults = sample_faults;
             threads.push(
                 std::thread::Builder::new()
                     .name("ksampled".into())
@@ -87,18 +123,47 @@ impl Runtime {
                         loop {
                             match rx.recv_timeout(Duration::from_millis(5)) {
                                 Ok(msg) => {
+                                    let fate = match faults.as_mut() {
+                                        Some(inj) => inj.sample_fate(
+                                            stats.samples_delivered.load(Ordering::Relaxed) as f64,
+                                            msg.access.vaddr.0,
+                                        ),
+                                        None => SampleFate::Deliver,
+                                    };
+                                    if fate == SampleFate::Drop {
+                                        stats.fault_samples_dropped.fetch_add(1, Ordering::Relaxed);
+                                        continue;
+                                    }
+                                    let deliveries =
+                                        if fate == SampleFate::Duplicate { 2 } else { 1 };
+                                    if fate == SampleFate::Duplicate {
+                                        stats.fault_samples_duped.fetch_add(1, Ordering::Relaxed);
+                                    }
                                     let mut m = machine.lock();
                                     let mut p = policy.lock();
-                                    let mut ops =
-                                        PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, 0.0);
-                                    p.on_access(&mut ops, &msg.access, &msg.outcome);
+                                    for _ in 0..deliveries {
+                                        let mut ops = PolicyOps::new(
+                                            &mut m,
+                                            &mut acct,
+                                            CostSink::Daemon,
+                                            0.0,
+                                        );
+                                        p.on_access(&mut ops, &msg.access, &msg.outcome);
+                                    }
                                     stats.samples_delivered.fetch_add(1, Ordering::Relaxed);
                                 }
-                                Err(_) => {
+                                Err(RecvTimeoutError::Timeout) => {
                                     if shutdown.load(Ordering::Acquire) && rx.is_empty() {
                                         return;
                                     }
                                 }
+                                // All senders are gone: no sample can ever
+                                // arrive again, so exit instead of spinning
+                                // on the timeout forever. (The old `Err(_)`
+                                // arm treated this like a timeout and leaked
+                                // the thread when the Runtime was dropped
+                                // without an explicit shutdown.)
+                                Err(RecvTimeoutError::Disconnected) => return,
                             }
                         }
                     })
@@ -112,6 +177,7 @@ impl Runtime {
             let policy = Arc::clone(&policy);
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
+            let mut faults = tick_faults;
             threads.push(
                 std::thread::Builder::new()
                     .name("kmigrated".into())
@@ -133,7 +199,20 @@ impl Runtime {
                             // Host wall time stands in for the simulated
                             // clock: it is monotone, which is all the
                             // engine's arbitration needs here.
-                            let now_ns = start.elapsed().as_nanos() as f64;
+                            let mut now_ns = start.elapsed().as_nanos() as f64;
+                            match faults.as_mut().map(|inj| inj.tick_fate(now_ns)) {
+                                Some(TickFate::Skip) => {
+                                    // The wakeup never fired this period.
+                                    stats.fault_ticks_skipped.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                Some(TickFate::Delay(extra_ns)) => {
+                                    stats.fault_ticks_delayed.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::sleep(Duration::from_nanos(extra_ns as u64));
+                                    now_ns = start.elapsed().as_nanos() as f64;
+                                }
+                                Some(TickFate::Run) | None => {}
+                            }
                             let mut m = machine.lock();
                             let mut p = policy.lock();
                             let mut ops =
@@ -244,6 +323,11 @@ impl Runtime {
         self.machine.lock().stats.clone()
     }
 
+    /// Machine-level fault-injection tallies (all zero without a plan).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.machine.lock().fault_counters()
+    }
+
     /// Stops the daemons and joins their threads.
     pub fn shutdown(mut self) -> Arc<RuntimeStats> {
         self.shutdown.store(true, Ordering::Release);
@@ -251,6 +335,20 @@ impl Runtime {
             let _ = t.join();
         }
         Arc::clone(&self.stats)
+    }
+}
+
+impl Drop for Runtime {
+    /// Dropping the runtime without calling [`Runtime::shutdown`] used to
+    /// leak both daemon threads (`ksampled` kept polling its 5 ms timeout
+    /// because the shutdown flag was never raised). Stop and join them here;
+    /// after an explicit `shutdown()` the thread list is already empty and
+    /// this is a no-op.
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
     }
 }
 
@@ -369,5 +467,75 @@ mod tests {
         rt.alloc_region(0, HUGE_PAGE_SIZE, true).unwrap();
         rt.access(Access::load(0)).unwrap();
         let _ = rt.shutdown();
+    }
+
+    /// Regression (PR 4): dropping the runtime without an explicit
+    /// `shutdown()` must stop the daemons rather than leaking them. The
+    /// `Drop` impl joins both threads, so merely reaching the end of this
+    /// test without hanging proves they exited.
+    #[test]
+    fn drop_without_shutdown_stops_daemons() {
+        let (mc, pc) = small_cfg();
+        let rt = Runtime::start(mc, pc, Duration::from_millis(1));
+        rt.alloc_region(0, HUGE_PAGE_SIZE, true).unwrap();
+        for i in 0..100u64 {
+            rt.access(Access::store((i % 512) * 4096)).unwrap();
+        }
+        drop(rt);
+    }
+
+    /// Regression (PR 4): `ksampled` must exit when every sender is gone,
+    /// even if the shutdown flag was never raised. Before the fix the
+    /// `Err(_)` arm treated `Disconnected` like `Timeout` and the thread
+    /// spun forever.
+    #[test]
+    fn ksampled_exits_when_sender_disconnects() {
+        let (mc, pc) = small_cfg();
+        let mut rt = Runtime::start(mc, pc, Duration::from_secs(3600));
+        // Replace the runtime's sender with a dummy so the real channel
+        // disconnects while the shutdown flag stays false.
+        let (dummy_tx, _dummy_rx) = bounded::<SampleMsg>(1);
+        rt.sample_tx = dummy_tx;
+        let ksampled = rt
+            .threads
+            .iter()
+            .position(|t| t.thread().name() == Some("ksampled"))
+            .expect("ksampled thread present");
+        let handle = rt.threads.swap_remove(ksampled);
+        let start = std::time::Instant::now();
+        handle.join().expect("ksampled exits on disconnect");
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    /// Fault plans drive the real-thread daemons too: machine-level faults
+    /// through kmigrated's pump, sample drops in ksampled, tick skips in
+    /// kmigrated.
+    #[test]
+    fn fault_plan_perturbs_real_thread_daemons() {
+        let (mc, pc) = small_cfg();
+        let plan = FaultPlan {
+            seed: 7,
+            sample_drop: 0.5,
+            tick_skip: 0.5,
+            ..FaultPlan::default()
+        };
+        let rt = Runtime::start_with_faults(mc, pc, Duration::from_millis(1), &plan);
+        rt.alloc_region(0, HUGE_PAGE_SIZE, true).unwrap();
+        for i in 0..20_000u64 {
+            rt.access(Access::store((i % 512) * 4096)).unwrap();
+            if i % 256 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let stats = rt.shutdown();
+        assert!(
+            stats.fault_samples_dropped.load(Ordering::Relaxed) > 0,
+            "50% sample-drop plan must discard some samples"
+        );
+        assert!(
+            stats.fault_ticks_skipped.load(Ordering::Relaxed) > 0,
+            "50% tick-skip plan must skip some wakeups"
+        );
     }
 }

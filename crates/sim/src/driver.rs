@@ -19,6 +19,9 @@ use crate::addr::{PageSize, TierId, VirtAddr, VirtPage, HUGE_PAGE_SIZE, NR_SUBPA
 use crate::config::MachineConfig;
 use crate::engine::EngineEvent;
 use crate::error::{SimError, SimResult};
+use crate::faults::{
+    FaultCounters, FaultInjector, FaultPlan, SampleFate, TickFate, DRIVER_FAULT_SALT,
+};
 use crate::machine::Machine;
 use crate::policy::{abort_failure, CostAccounting, CostSink, PolicyOps, TieringPolicy};
 use crate::stats::MachineStats;
@@ -83,6 +86,9 @@ pub struct DriverConfig {
     /// Migration admission-queue depth override; `None` keeps the machine
     /// config's setting.
     pub migration_queue: Option<usize>,
+    /// Fault-injection plan. `None` — and any inert plan — leaves every
+    /// code path bit-exact with a normal run.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for DriverConfig {
@@ -95,6 +101,7 @@ impl Default for DriverConfig {
             window_events: 100_000,
             migration_bw: None,
             migration_queue: None,
+            faults: None,
         }
     }
 }
@@ -152,6 +159,11 @@ pub struct RunReport {
     pub windows: Vec<WindowSample>,
     /// Workload events processed (accesses + allocs + frees).
     pub sim_events: u64,
+    /// Histogram bin underflows the policy detected (metadata/histogram
+    /// desync; must be zero on healthy runs).
+    pub hist_underflows: u64,
+    /// Fault-injection tallies (all zero on normal runs).
+    pub faults: FaultCounters,
     /// *Host* wall-clock time the run took (ns) — simulator self-throughput,
     /// not simulated time. Tracks the perf trajectory of the simulator
     /// itself across PRs (see BENCH_*.json).
@@ -217,6 +229,12 @@ pub struct Simulation<P: TieringPolicy, O: Observer = NopObserver> {
     timeline: Vec<Snapshot>,
     window: WindowState,
     wcol: WindowCollector,
+    /// Driver-level fault injector (sample drop/dup, tick skip/delay).
+    drv_faults: Option<FaultInjector>,
+    /// Whether any fault injector (machine or driver level) is installed.
+    has_faults: bool,
+    /// Policy-reported histogram underflows already surfaced as events.
+    hist_underflows_seen: u64,
 }
 
 impl<P: TieringPolicy> Simulation<P, NopObserver> {
@@ -241,7 +259,15 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
         if let Some(q) = cfg.migration_queue {
             machine_cfg.migration.queue_depth = q;
         }
-        let machine = Machine::new(machine_cfg);
+        let mut machine = Machine::new(machine_cfg);
+        let drv_faults = match &cfg.faults {
+            Some(plan) if !plan.is_inert() => {
+                machine.install_faults(plan);
+                Some(FaultInjector::new(*plan, DRIVER_FAULT_SALT))
+            }
+            _ => None,
+        };
+        let has_faults = drv_faults.is_some();
         let next_tick = cfg.tick_interval_ns;
         let next_snapshot = cfg.timeline_interval_ns;
         let wcol = WindowCollector::new(cfg.window_events);
@@ -267,6 +293,9 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
                 start_total_hits: 0,
             },
             wcol,
+            drv_faults,
+            has_faults,
+            hist_underflows_seen: 0,
         }
     }
 
@@ -450,7 +479,23 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             );
             self.policy.on_hint_fault(&mut ops, outcome.vpage);
         }
-        {
+        // Fault injection can drop a PEBS sample before the policy sees it
+        // (lossy perf buffer) or deliver it twice (replayed record).
+        let fate = match self.drv_faults.as_mut() {
+            Some(inj) => inj.sample_fate(self.wall_ns, outcome.vpage.0),
+            None => SampleFate::Deliver,
+        };
+        if fate != SampleFate::Drop {
+            let mut ops = Self::ops(
+                &mut self.machine,
+                &mut self.acct,
+                &mut self.obs,
+                CostSink::Daemon,
+                self.wall_ns,
+            );
+            self.policy.on_access(&mut ops, &access, &outcome);
+        }
+        if fate == SampleFate::Duplicate {
             let mut ops = Self::ops(
                 &mut self.machine,
                 &mut self.acct,
@@ -474,7 +519,10 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
     /// context). No-op while the engine is idle, so unlimited-bandwidth
     /// runs never enter this path.
     fn pump_transfers(&mut self) {
-        if self.machine.transfers_idle() {
+        // Machine-level faults (outages, pressure, forced aborts) are
+        // applied inside the machine's pump and may need to run even while
+        // the engine is idle.
+        if self.machine.transfers_idle() && !self.machine.has_fault_injection() {
             return;
         }
         let events = self.machine.pump_transfers(self.wall_ns);
@@ -551,7 +599,18 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
 
     fn run_due_ticks(&mut self) {
         while self.wall_ns >= self.next_tick {
-            let now = self.next_tick;
+            let mut now = self.next_tick;
+            if let Some(inj) = self.drv_faults.as_mut() {
+                match inj.tick_fate(now) {
+                    TickFate::Skip => {
+                        // The wakeup never fired; the next one keeps cadence.
+                        self.next_tick += self.cfg.tick_interval_ns;
+                        continue;
+                    }
+                    TickFate::Delay(extra_ns) => now += extra_ns,
+                    TickFate::Run => {}
+                }
+            }
             let mut ops = Self::ops(
                 &mut self.machine,
                 &mut self.acct,
@@ -561,6 +620,42 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             );
             self.policy.tick(&mut ops);
             self.next_tick += self.cfg.tick_interval_ns;
+        }
+    }
+
+    /// Drains pending fault records (machine- and driver-level) into the
+    /// trace ring. The drain happens even untraced so the bounded logs
+    /// cannot alter behavior between traced and untraced runs.
+    fn emit_fault_records(&mut self) {
+        let machine_recs = self.machine.drain_fault_log();
+        let driver_recs = match self.drv_faults.as_mut() {
+            Some(inj) => inj.drain_log(),
+            None => Vec::new(),
+        };
+        if !self.obs.enabled() {
+            return;
+        }
+        for r in machine_recs.into_iter().chain(driver_recs) {
+            self.obs.record(Event::new(
+                r.t_ns,
+                EventKind::FaultInjected {
+                    fault: r.kind,
+                    vpage: r.vpage,
+                },
+            ));
+        }
+    }
+
+    /// Surfaces newly-detected histogram underflows as trace events.
+    fn note_hist_underflows(&mut self) {
+        let total = self.policy.hist_underflows();
+        if total > self.hist_underflows_seen {
+            let count = total - self.hist_underflows_seen;
+            self.hist_underflows_seen = total;
+            if self.obs.enabled() {
+                self.obs
+                    .record(Event::new(self.wall_ns, EventKind::HistUnderflow { count }));
+            }
         }
     }
 
@@ -617,6 +712,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
     /// Closes the current telemetry window at the present cumulative state
     /// and notifies the observer.
     fn cut_telemetry_window(&mut self) {
+        self.note_hist_underflows();
         let mut gauges = Vec::new();
         self.policy.timeline(&mut gauges);
         let mut hist_bins = Vec::new();
@@ -656,6 +752,9 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
                 WorkloadEvent::Free { addr, bytes } => self.handle_free(addr, bytes)?,
             }
             self.pump_transfers();
+            if self.has_faults {
+                self.emit_fault_records();
+            }
             if self.wall_ns >= self.next_tick {
                 self.run_due_ticks();
             }
@@ -674,11 +773,19 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             self.rss_peak = self.rss_peak.max(self.machine.rss_bytes());
         }
         self.pump_transfers();
+        if self.has_faults {
+            self.emit_fault_records();
+        }
+        self.note_hist_underflows();
         self.close_window();
         if self.wcol.has_partial(self.sim_events) {
             self.cut_telemetry_window();
         }
 
+        let mut fault_counters = self.machine.fault_counters();
+        if let Some(inj) = self.drv_faults.as_ref() {
+            fault_counters.merge(&inj.counters);
+        }
         Ok(RunReport {
             workload: workload.name().to_string(),
             policy: self.policy.descriptor().name.to_string(),
@@ -695,6 +802,8 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             timeline: std::mem::take(&mut self.timeline),
             windows: self.wcol.samples().to_vec(),
             sim_events: self.sim_events - events_at_start,
+            hist_underflows: self.hist_underflows_seen,
+            faults: fault_counters,
             host_elapsed_ns: host_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         })
     }

@@ -330,6 +330,35 @@ impl MigrationEngine {
         }
     }
 
+    /// Models a transient link outage beginning at `now_ns`: every active
+    /// copy pass still in progress finishes `extra_ns` later, and idle
+    /// links stay unusable until the outage lifts. Passes that already
+    /// finished (`end_ns <= now_ns`) are not delayed — their copy completed
+    /// before the outage hit; they finalize during the following pump.
+    pub(crate) fn delay_active(&mut self, now_ns: f64, extra_ns: f64) {
+        for l in &mut self.links {
+            match l.active.as_mut() {
+                Some(t) if t.end_ns > now_ns => t.end_ns += extra_ns,
+                Some(_) => {}
+                None => l.free_ns = l.free_ns.max(now_ns) + extra_ns,
+            }
+        }
+    }
+
+    /// Ids of every queued and active transfer, in deterministic order
+    /// (admission order, then link-key order).
+    pub(crate) fn transfer_ids(&self) -> Vec<TransferId> {
+        self.iter_all().map(|t| t.id).collect()
+    }
+
+    /// Head pages of active copy passes, in deterministic link-key order.
+    pub(crate) fn active_pages(&self) -> Vec<VirtPage> {
+        self.links
+            .iter()
+            .filter_map(|l| l.active.as_ref().map(|t| t.vpage))
+            .collect()
+    }
+
     /// Whether `tier` is an endpoint of a link with an active copy.
     pub(crate) fn link_busy_for(&self, tier: TierId) -> bool {
         self.links

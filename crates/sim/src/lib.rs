@@ -35,6 +35,7 @@ pub mod config;
 pub mod driver;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod machine;
 pub mod page_table;
 pub mod policy;
@@ -58,6 +59,10 @@ pub mod prelude {
     };
     pub use crate::engine::{AbortCause, EngineEvent, MigrationHandle, TransferEnd, TransferId};
     pub use crate::error::{SimError, SimResult};
+    pub use crate::faults::{
+        FaultCounters, FaultInjector, FaultPlan, FaultRecord, FaultRng, OutageSpec, PressureSpec,
+        SampleFate, TickFate,
+    };
     pub use crate::machine::{Machine, MigrateOutcome, SplitOutcome};
     pub use crate::policy::{
         CostAccounting, CostSink, NoopPolicy, PolicyDescriptor, PolicyOps, TieringPolicy,
@@ -65,7 +70,7 @@ pub mod prelude {
     pub use crate::stats::{MachineStats, MigrationStats};
     pub use crate::util::{DetHashMap, DetHashSet};
     pub use memtis_obs::{
-        Event, EventKind, MigrationFailure, NopObserver, Observer, ShootdownCause, ThresholdCause,
-        TracingObserver, WindowCollector, WindowCut, WindowSample,
+        Event, EventKind, FaultKind, MigrationFailure, NopObserver, Observer, ShootdownCause,
+        ThresholdCause, TracingObserver, WindowCollector, WindowCut, WindowSample,
     };
 }

@@ -17,10 +17,12 @@ use crate::engine::{
     TransferId,
 };
 use crate::error::{SimError, SimResult};
+use crate::faults::{FaultCounters, FaultInjector, FaultPlan, FaultRecord, MACHINE_FAULT_SALT};
 use crate::page_table::{EntryMut, PageTable, Translation};
 use crate::stats::MachineStats;
 use crate::tier::TierAllocator;
 use crate::tlb::Tlb;
+use memtis_obs::FaultKind;
 
 /// Per-PTE update cost during a split or collapse (ns).
 const PTE_UPDATE_NS: f64 = 15.0;
@@ -56,6 +58,8 @@ pub struct Machine {
     tlb: Tlb,
     llc: Llc,
     engine: MigrationEngine,
+    /// Installed fault injector (chaos runs only; `None` on normal runs).
+    faults: Option<FaultInjector>,
     /// Running counters.
     pub stats: MachineStats,
 }
@@ -78,8 +82,40 @@ impl Machine {
             pt: PageTable::new(),
             stats: MachineStats::default(),
             engine: MigrationEngine::new(cfg.migration.queue_depth, cfg.migration.max_recopies),
+            faults: None,
             cfg,
         }
+    }
+
+    /// Installs the machine-level faults of `plan` (forced aborts, injected
+    /// dirty stores, link outages, pressure spikes). Inert plans install
+    /// nothing, so zero-fault runs stay bit-exact with no-plan runs.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        if !plan.is_inert() {
+            self.faults = Some(FaultInjector::new(*plan, MACHINE_FAULT_SALT));
+        }
+    }
+
+    /// Whether a fault injector is installed.
+    pub fn has_fault_injection(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Fast-tier bytes currently stolen by a pressure spike.
+    pub fn fault_reserved_bytes(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.reserved_bytes())
+    }
+
+    /// Machine-level fault tallies (zero when no injector is installed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map_or(FaultCounters::default(), |f| f.counters)
+    }
+
+    /// Takes the pending machine-level fault records for trace emission.
+    pub fn drain_fault_log(&mut self) -> Vec<FaultRecord> {
+        self.faults.as_mut().map_or(Vec::new(), |f| f.drain_log())
     }
 
     /// The machine configuration.
@@ -715,8 +751,13 @@ impl Machine {
     /// a transfer completes here, accesses keep translating to the source
     /// frame.
     pub fn pump_transfers(&mut self, now_ns: f64) -> Vec<EngineEvent> {
+        let mut fault_events = if self.faults.is_some() {
+            self.apply_faults(now_ns)
+        } else {
+            Vec::new()
+        };
         if self.engine.is_idle() {
-            return Vec::new();
+            return fault_events;
         }
         let outcomes = {
             let engine = &mut self.engine;
@@ -765,6 +806,63 @@ impl Machine {
                 }
             }
         }
+        if fault_events.is_empty() {
+            events
+        } else {
+            fault_events.extend(events);
+            fault_events
+        }
+    }
+
+    /// Applies the machine-level faults due at `now_ns`: link outages and
+    /// pressure spikes on the simulated clock, forced aborts and injected
+    /// dirty stores by per-pump probability rolls. Returns terminal events
+    /// for forcibly-aborted transfers so callers route them to
+    /// `Policy::on_transfer_end` exactly like engine-originated aborts.
+    fn apply_faults(&mut self, now_ns: f64) -> Vec<EngineEvent> {
+        let Some(mut inj) = self.faults.take() else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        if let Some(duration) = inj.outage_due(now_ns) {
+            self.engine.delay_active(now_ns, duration);
+            inj.record(now_ns, FaultKind::LinkOutage, 0);
+        }
+        if let Some(spec) = inj.pressure_should_start(now_ns) {
+            let huge = PageSize::Huge.bytes();
+            while inj.reserved_bytes() + huge <= spec.bytes {
+                match self.tiers[TierId::FAST.0 as usize].alloc(PageSize::Huge) {
+                    Ok(frame) => inj.pressure_frames.push(frame),
+                    Err(_) => break,
+                }
+            }
+            inj.record(now_ns, FaultKind::PressureSpike, 0);
+        }
+        if inj.pressure_should_end(now_ns) {
+            for frame in inj.pressure_frames.drain(..) {
+                self.tiers[TierId::FAST.0 as usize].free(frame, PageSize::Huge);
+            }
+            inj.record(now_ns, FaultKind::PressureRelease, 0);
+        }
+        if inj.roll_abort() {
+            let ids = self.engine.transfer_ids();
+            if !ids.is_empty() {
+                let id = ids[inj.pick(ids.len())];
+                if let Some(end) = self.abort_transfer(id, now_ns) {
+                    inj.record(now_ns, FaultKind::ForcedAbort, end.vpage.0);
+                    events.push(EngineEvent::Ended(end));
+                }
+            }
+        }
+        if inj.roll_dirty() {
+            let pages = self.engine.active_pages();
+            if !pages.is_empty() {
+                let vpage = pages[inj.pick(pages.len())];
+                self.engine.note_store(vpage);
+                inj.record(now_ns, FaultKind::InjectedDirty, vpage.0);
+            }
+        }
+        self.faults = Some(inj);
         events
     }
 

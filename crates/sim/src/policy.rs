@@ -455,6 +455,14 @@ pub trait TieringPolicy {
     /// histogram — everything except MEMTIS — leave `out` empty; this
     /// default is the shared observability surface all baselines inherit.
     fn histogram_bins(&self, _out: &mut Vec<u64>) {}
+
+    /// Total histogram underflows (a `remove()` that found fewer pages in a
+    /// bin than the policy's own metadata claimed — a desync bug, not an
+    /// operational condition). Must stay zero on healthy runs; the driver
+    /// surfaces it in [`crate::driver::RunReport`].
+    fn hist_underflows(&self) -> u64 {
+        0
+    }
 }
 
 impl TieringPolicy for Box<dyn TieringPolicy> {
@@ -493,6 +501,9 @@ impl TieringPolicy for Box<dyn TieringPolicy> {
     }
     fn histogram_bins(&self, out: &mut Vec<u64>) {
         (**self).histogram_bins(out)
+    }
+    fn hist_underflows(&self) -> u64 {
+        (**self).hist_underflows()
     }
 }
 

@@ -55,6 +55,12 @@ fn memtis_beats_all_nvm_on_skewed_workloads() {
             "{}: MEMTIS speedup over all-NVM was only {speedup:.3}",
             bench.name()
         );
+        assert_eq!(
+            memtis.hist_underflows,
+            0,
+            "{}: histogram desynced from page metadata",
+            bench.name()
+        );
     }
 }
 
@@ -85,6 +91,24 @@ fn runs_are_deterministic() {
         b.stats.migration.traffic_4k()
     );
     assert_eq!(a.accesses, b.accesses);
+    assert_eq!(a.hist_underflows, 0);
+}
+
+/// Healthy full runs never underflow the classification histograms: every
+/// `remove()` finds the pages the policy's metadata says are there. (The
+/// underflow counter exists because release builds used to saturate
+/// silently; see crates/core/src/histogram.rs.)
+#[test]
+fn histograms_never_underflow_end_to_end() {
+    for bench in [Benchmark::Btree, Benchmark::Graph500, Benchmark::PageRank] {
+        let r = run(bench, 8, MemtisPolicy::new(memtis_cfg()), 200_000);
+        assert_eq!(
+            r.hist_underflows,
+            0,
+            "{}: histogram underflow on a fault-free run",
+            bench.name()
+        );
+    }
 }
 
 #[test]

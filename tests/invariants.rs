@@ -81,6 +81,113 @@ proptest! {
         prop_assert!(t.warm == t.hot || t.warm + 1 == t.hot);
         prop_assert_eq!(t.cold, t.warm.saturating_sub(1));
     }
+
+    /// Classification is a partition: whatever `adapt` produces — including
+    /// sparse and empty histograms where the warm band opens below `T_hot`
+    /// (threshold.rs lines 80–84), and `hot == MAX_BIN + 1` when even the
+    /// top bin overflows — every bin is exactly one of hot/warm/cold.
+    #[test]
+    fn thresholds_partition_every_bin(
+        bins in prop::collection::vec(0u64..5000, NUM_BINS),
+        fast_pages in 1u64..100_000,
+        alpha in 0.0f64..1.0,
+        warm_set in prop::bool::ANY,
+    ) {
+        let mut h = AccessHistogram::new();
+        for (b, &n) in bins.iter().enumerate() {
+            h.add(b, n);
+        }
+        let t = adapt(&h, fast_pages * 4096, alpha, warm_set);
+        for b in 0..NUM_BINS {
+            let classes =
+                t.is_hot(b) as u8 + t.is_warm(b) as u8 + t.is_cold(b) as u8;
+            prop_assert_eq!(
+                classes, 1,
+                "bin {} classified {} ways under {:?}", b, classes, t
+            );
+        }
+        // `hot` can exceed MAX_BIN by exactly one (nothing classifies hot);
+        // classification helpers must stay consistent there too.
+        prop_assert!(t.hot <= MAX_BIN + 1);
+        if t.hot == MAX_BIN + 1 {
+            prop_assert!(!t.is_hot(MAX_BIN));
+            prop_assert!(t.is_warm(MAX_BIN) || t.is_cold(MAX_BIN));
+        }
+    }
+
+    /// `adapt` over a histogram mutated mid-cooling (cool + partial
+    /// move-back, the exact state kmigrated can observe between the shift
+    /// and the page-list correction walk) still yields a sound partition
+    /// and a hot set that fits.
+    #[test]
+    fn adapt_is_sound_on_mid_cooling_histograms(
+        bins in prop::collection::vec(0u64..5000, NUM_BINS),
+        fast_pages in 1u64..100_000,
+        corrections in prop::collection::vec((0usize..NUM_BINS, 0usize..NUM_BINS, 1u64..64), 0..10),
+    ) {
+        let mut h = AccessHistogram::new();
+        for (b, &n) in bins.iter().enumerate() {
+            h.add(b, n);
+        }
+        h.cool();
+        // Partial correction walk: some pages get moved while others still
+        // sit in their post-shift bins.
+        for (from, to, n) in corrections {
+            let avail = h.pages_in(from).min(n);
+            if avail > 0 {
+                h.move_pages(from, to, avail);
+            }
+        }
+        let fast = fast_pages * 4096;
+        let t = adapt(&h, fast, 0.9, true);
+        prop_assert!(t.hot_set_bytes <= fast);
+        prop_assert!(t.warm == t.hot || t.warm + 1 == t.hot);
+        prop_assert_eq!(t.cold, t.warm.saturating_sub(1));
+        for b in 0..NUM_BINS {
+            let classes =
+                t.is_hot(b) as u8 + t.is_warm(b) as u8 + t.is_cold(b) as u8;
+            prop_assert_eq!(classes, 1);
+        }
+        prop_assert_eq!(h.underflows(), 0, "bounded moves never underflow");
+    }
+}
+
+/// Empty histogram: the warm band opens (`warm = hot - 1 = 0`) even though
+/// there is nothing to shield — the `s < α·fast` branch at
+/// threshold.rs:80-84 fires with `s == 0`. Harmless, but pinned: `cold`
+/// must not underflow past 0 and the partition must hold.
+#[test]
+fn empty_histogram_opens_warm_band_without_underflow() {
+    let h = AccessHistogram::new();
+    for fast_pages in [1u64, 100, 100_000] {
+        let t = adapt(&h, fast_pages * 4096, 0.9, true);
+        assert_eq!((t.hot, t.warm, t.cold), (1, 0, 0));
+        assert_eq!(t.hot_set_bytes, 0);
+        // Bin 0 is cold (not warm), bins >= 1 are hot.
+        assert!(t.is_cold(0) && !t.is_warm(0) && !t.is_hot(0));
+        assert!(t.is_hot(1));
+    }
+}
+
+/// `hot == MAX_BIN + 1` (top bin alone overflows the fast tier): no bin is
+/// hot, the top bin lands in the warm band, and `is_warm`/`is_cold` stay
+/// complementary all the way down.
+#[test]
+fn no_hot_pages_keeps_warm_cold_complementary() {
+    let mut h = AccessHistogram::new();
+    h.add(MAX_BIN, 500);
+    let t = adapt(&h, 100 * 4096, 0.9, true);
+    assert_eq!(t.hot, MAX_BIN + 1);
+    assert_eq!((t.warm, t.cold), (MAX_BIN, MAX_BIN - 1));
+    for b in 0..NUM_BINS {
+        assert!(!t.is_hot(b), "bin {b} must not be hot");
+        assert!(
+            t.is_warm(b) ^ t.is_cold(b),
+            "bin {b} must be exactly warm or cold"
+        );
+    }
+    assert!(t.is_warm(MAX_BIN));
+    assert!(t.is_cold(0));
 }
 
 // ---------------------------------------------------------------------------
@@ -337,4 +444,48 @@ proptest! {
         prop_assert_eq!(m.locate(VirtPage(0)), Some((TierId::FAST, PageSize::Huge)));
         prop_assert_eq!(m.locate(VirtPage(512)), Some((TierId::CAPACITY, PageSize::Huge)));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Named regressions promoted from tests/invariants.proptest-regressions.
+// The seed file only replays on the machines that have it checked out *and*
+// only inside its proptest; these run everywhere, always, with an
+// explanation attached.
+// ---------------------------------------------------------------------------
+
+/// Regression for seed `cc 5dd7688d…` (shrinks to `addrs = [4194304]`):
+/// address 4 MiB is the first byte past the two mapped huge pages (vpages
+/// 0..1024). `accesses_do_not_move_pages` once generated it with an
+/// inclusive bound and tripped an unwrap on the unmapped access. Pin the
+/// exact behavior: a clean `NotMapped(VirtPage(1024))` error — no panic —
+/// with placement, RSS, and tier accounting untouched.
+#[test]
+fn regression_access_one_past_mapped_region_fails_cleanly() {
+    let mut m = Machine::new(MachineConfig::dram_nvm(
+        2 * HUGE_PAGE_SIZE,
+        8 * HUGE_PAGE_SIZE,
+    ));
+    m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+        .unwrap();
+    m.alloc_and_map(VirtPage(512), PageSize::Huge, TierId::CAPACITY)
+        .unwrap();
+    let rss = m.rss_bytes();
+    let used_before: u64 = (0..2).map(|t| m.used_bytes(TierId(t))).sum();
+
+    // The shrunk counterexample: a store at exactly 2 × 2 MiB.
+    let err = m.access(Access::store(4_194_304)).unwrap_err();
+    assert_eq!(err, SimError::NotMapped(VirtPage(1024)));
+    // Loads fail identically.
+    let err = m.access(Access::load(4_194_304)).unwrap_err();
+    assert_eq!(err, SimError::NotMapped(VirtPage(1024)));
+
+    // Nothing moved, nothing leaked.
+    assert_eq!(m.rss_bytes(), rss);
+    let used_after: u64 = (0..2).map(|t| m.used_bytes(TierId(t))).sum();
+    assert_eq!(used_after, used_before);
+    assert_eq!(m.locate(VirtPage(0)), Some((TierId::FAST, PageSize::Huge)));
+    assert_eq!(
+        m.locate(VirtPage(512)),
+        Some((TierId::CAPACITY, PageSize::Huge))
+    );
 }
