@@ -283,6 +283,123 @@ fn head_to_head(_c: &mut Criterion) {
     emit_bench_json("hotpath", &metrics);
 }
 
+/// End-to-end batched-pipeline head-to-head: full MEMTIS cells driven at
+/// `chunk = 1` (the legacy per-event loop) versus the default chunk size.
+/// Two workloads — 654.roms and a zipfian key-value synth — are recorded
+/// once and replayed from identical traces, so both paths consume the
+/// same byte stream; the per-rep reports are asserted bit-identical
+/// (host wall-clock aside) before timings are reported. Best-of-reps
+/// events/sec and speedups land in `BENCH_hotloop.json`.
+fn hotloop(_c: &mut Criterion) {
+    use memtis_bench::{
+        driver_config, machine_for, CapacityKind, Ratio, System, SEED, TIME_COMPRESSION,
+    };
+    use memtis_workloads::{
+        Benchmark, Scale, SpecStream, SynthBuilder, TraceRecorder, TraceReplay,
+    };
+
+    // Long reps (~100 ms each): on a shared box, tens-of-ms runs are
+    // dominated by scheduler jitter and the best-of comparison becomes a
+    // lottery; ~100 ms reps average the jitter away within each rep.
+    const ACCESSES: u64 = 2_000_000;
+    const REPS: usize = 7;
+    let ratio = Ratio {
+        fast: 1,
+        capacity: 8,
+    };
+
+    /// Render a report for comparison, ignoring only host wall-clock.
+    fn signature(mut report: RunReport) -> String {
+        report.host_elapsed_ns = 0;
+        format!("{report:?}")
+    }
+
+    let zipf_spec = SynthBuilder::new("zipf-synth")
+        .footprint(96 << 20)
+        .zipf(0.9)
+        .stores(0.1)
+        .build(ACCESSES);
+    let zipf_rss = zipf_spec.total_bytes();
+    let zipf_machine = MachineConfig::dram_nvm(
+        ratio.fast_bytes(zipf_rss),
+        zipf_rss * 2 + 64 * HUGE_PAGE_SIZE,
+    )
+    .with_bandwidth_scale(TIME_COMPRESSION);
+    let cases = [
+        (
+            "roms",
+            Benchmark::Roms.spec(Scale::TEST, ACCESSES),
+            machine_for(Benchmark::Roms, Scale::TEST, ratio, CapacityKind::Nvm),
+        ),
+        ("zipf", zipf_spec, zipf_machine),
+    ];
+
+    let run_once = |machine: &MachineConfig, mk: &dyn Fn() -> TraceReplay, chunk: usize| {
+        let mut wl = mk();
+        let mut driver = driver_config();
+        driver.chunk = chunk;
+        let mut sim = Simulation::new(machine.clone(), System::Memtis.build(), driver);
+        let start = Instant::now();
+        let report = sim.run(&mut wl).unwrap();
+        (report, start.elapsed().as_secs_f64())
+    };
+
+    let mut metrics = vec![("chunk".to_string(), DEFAULT_CHUNK as f64)];
+    let mut lines = Vec::new();
+    let mut total_events = 0.0;
+    let mut total_batched_s = 0.0;
+    for (name, spec, machine) in cases {
+        let mut rec = TraceRecorder::new(SpecStream::new(spec, SEED));
+        while rec.next_event().is_some() {}
+        let trace = rec.finish();
+        let mk = || TraceReplay::new(trace.clone(), name);
+
+        // Interleave legacy/batched reps pairwise so drifting background
+        // load biases both paths alike; keep the best rep of each.
+        let (_, _) = run_once(&machine, &mk, 1); // Shared warmup, untimed.
+        let mut legacy_s = f64::INFINITY;
+        let mut batched_s = f64::INFINITY;
+        let mut reports = None;
+        for _ in 0..REPS {
+            let (legacy_report, ls) = run_once(&machine, &mk, 1);
+            let (batched_report, bs) = run_once(&machine, &mk, DEFAULT_CHUNK);
+            legacy_s = legacy_s.min(ls);
+            batched_s = batched_s.min(bs);
+            reports = Some((legacy_report, batched_report));
+        }
+        let (legacy_report, batched_report) = reports.unwrap();
+        assert_eq!(
+            signature(legacy_report),
+            signature(batched_report.clone()),
+            "batched pipeline diverged from the per-event oracle on {name}"
+        );
+
+        let events = batched_report.sim_events as f64;
+        let speedup = legacy_s / batched_s;
+        lines.push(format!(
+            "{name} {:.1} -> {:.1} Mev/s ({speedup:.2}x)",
+            events / legacy_s / 1e6,
+            events / batched_s / 1e6,
+        ));
+        metrics.push((format!("{name}_sim_events"), events));
+        metrics.push((format!("{name}_legacy_host_ns"), legacy_s * 1e9));
+        metrics.push((format!("{name}_batched_host_ns"), batched_s * 1e9));
+        metrics.push((format!("{name}_legacy_eps"), events / legacy_s));
+        metrics.push((format!("{name}_batched_eps"), events / batched_s));
+        metrics.push((format!("{name}_speedup"), speedup));
+        total_events += events;
+        total_batched_s += batched_s;
+    }
+    metrics.push(("sim_events".to_string(), total_events));
+    metrics.push(("host_elapsed_ns".to_string(), total_batched_s * 1e9));
+    metrics.push(("events_per_sec".to_string(), total_events / total_batched_s));
+    println!(
+        "hotloop head-to-head, best of {REPS} reps x {ACCESSES} accesses: {}",
+        lines.join(", ")
+    );
+    emit_bench_json("hotloop", &metrics);
+}
+
 /// Observer overhead at the driver level: the same MEMTIS cell run under
 /// the default `NopObserver` versus a full `TracingObserver`. `ops()`
 /// statically skips the observer hookup when `enabled()` is false, and
@@ -364,6 +481,6 @@ criterion_group! {
         .sample_size(30)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
-    targets = access_paths, walk_component, head_to_head, observer_overhead
+    targets = access_paths, walk_component, head_to_head, hotloop, observer_overhead
 }
 criterion_main!(hotpath);

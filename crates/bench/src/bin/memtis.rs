@@ -4,8 +4,10 @@
 //! memtis run  <benchmark> [--ratio 1:8] [--policy memtis] [--cxl] [--accesses N]
 //!             [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
 //!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--faults SPEC]
+//!             [--chunk N]
 //! memtis compare <benchmark> [--ratio 1:8] [--cxl] [--accesses N]
 //!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--faults SPEC]
+//!             [--chunk N]
 //! memtis list
 //! ```
 //!
@@ -63,16 +65,20 @@ struct Opts {
     migration_bw: Option<f64>,
     migration_queue: Option<usize>,
     faults: Option<memtis_sim::faults::FaultPlan>,
+    chunk: Option<usize>,
 }
 
 impl Opts {
-    /// The default driver config with this invocation's migration
-    /// overrides applied.
+    /// The default driver config with this invocation's migration and
+    /// chunking overrides applied.
     fn driver(&self) -> memtis_sim::prelude::DriverConfig {
         let mut d = driver_config();
         d.migration_bw = self.migration_bw;
         d.migration_queue = self.migration_queue;
         d.faults = self.faults;
+        if let Some(c) = self.chunk {
+            d.chunk = c;
+        }
         d
     }
 }
@@ -91,6 +97,7 @@ fn parse_opts(args: &[String]) -> Opts {
         migration_bw: None,
         migration_queue: None,
         faults: None,
+        chunk: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -145,6 +152,10 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.migration_queue = args.get(i + 1).and_then(|s| s.parse().ok());
                 i += 2;
             }
+            "--chunk" => {
+                o.chunk = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
             "--faults" => {
                 match args
                     .get(i + 1)
@@ -172,7 +183,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  memtis run <benchmark> [--ratio F:C] [--policy NAME] [--cxl] [--accesses N]\n    \
          [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]\n    \
-         [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]\n  \
+         [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--chunk N]\n  \
          memtis compare <benchmark> [--ratio F:C] [--cxl] [--accesses N]\n  memtis list"
     );
     std::process::exit(2);
@@ -218,6 +229,9 @@ fn main() {
                     driver.migration_bw = o.migration_bw;
                     driver.migration_queue = o.migration_queue;
                     driver.faults = o.faults;
+                    if let Some(c) = o.chunk {
+                        driver.chunk = c;
+                    }
                     let (r, obs) = run_cell_traced(
                         bench,
                         Scale::DEFAULT,

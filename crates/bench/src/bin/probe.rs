@@ -5,7 +5,7 @@
 //! probe [<benchmark>] [<ratio>] [<system>|all] [--test-scale]
 //!       [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
 //!       [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]
-//!       [--faults SPEC]
+//!       [--faults SPEC] [--chunk N]
 //! ```
 //!
 //! `--faults` takes a seeded fault plan, e.g.
@@ -22,7 +22,12 @@ use memtis_bench::{
 };
 use memtis_workloads::{Benchmark, Scale};
 
-fn probe_memtis(bench: Benchmark, ratio: Ratio, scale: Scale) {
+fn probe_memtis(
+    bench: Benchmark,
+    ratio: Ratio,
+    scale: Scale,
+    driver: memtis_sim::prelude::DriverConfig,
+) {
     use memtis_core::{MemtisConfig, MemtisPolicy};
     use memtis_sim::prelude::Simulation;
     use memtis_workloads::SpecStream;
@@ -31,7 +36,7 @@ fn probe_memtis(bench: Benchmark, ratio: Ratio, scale: Scale) {
     let mut sim = Simulation::new(
         machine,
         MemtisPolicy::new(MemtisConfig::sim_scaled()),
-        memtis_bench::driver_config(),
+        driver,
     );
     let _ = sim.run(&mut wl).unwrap();
     let p = sim.policy();
@@ -72,6 +77,7 @@ fn main() {
     let mut migration_bw: Option<f64> = None;
     let mut migration_queue: Option<usize> = None;
     let mut faults: Option<memtis_sim::faults::FaultPlan> = None;
+    let mut chunk: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -106,6 +112,10 @@ fn main() {
             }
             "--migration-queue" => {
                 migration_queue = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--chunk" => {
+                chunk = args.get(i + 1).and_then(|s| s.parse().ok());
                 i += 2;
             }
             "--faults" => {
@@ -161,6 +171,9 @@ fn main() {
     driver.migration_bw = migration_bw;
     driver.migration_queue = migration_queue;
     driver.faults = faults;
+    if let Some(c) = chunk {
+        driver.chunk = c;
+    }
     let base = run_baseline(bench, scale, CapacityKind::Nvm);
     println!(
         "baseline all-NVM: wall={:.2}ms thpt={:.1}M/s llc_miss={:.3}",
@@ -198,7 +211,7 @@ fn main() {
             );
         }
         if sys == System::Memtis {
-            probe_memtis(bench, ratio, scale);
+            probe_memtis(bench, ratio, scale, driver.clone());
         }
     }
 
@@ -209,6 +222,9 @@ fn main() {
         traced_driver.migration_bw = migration_bw;
         traced_driver.migration_queue = migration_queue;
         traced_driver.faults = faults;
+        if let Some(c) = chunk {
+            traced_driver.chunk = c;
+        }
         let (report, obs) = run_cell_traced(
             bench,
             scale,

@@ -4,7 +4,7 @@
 //! sweep [--jobs N] [--systems memtis,tpp,...] [--benches roms,btree,...]
 //!       [--ratios 1:8,1:16] [--seeds K] [--accesses N] [--window EVENTS]
 //!       [--cxl] [--test-scale] [--migration-bw BYTES_PER_NS]
-//!       [--migration-queue DEPTH] [--faults SPEC]
+//!       [--migration-queue DEPTH] [--faults SPEC] [--chunk N]
 //! ```
 //!
 //! Runs the (policy × workload × ratio × seed) matrix across worker
@@ -15,6 +15,7 @@
 
 use memtis_bench::sweep::{emit_sweep, matrix, run_sweep, SweepConfig};
 use memtis_bench::{access_budget, CapacityKind, Ratio, System, DEFAULT_WINDOW_EVENTS};
+use memtis_sim::prelude::DEFAULT_CHUNK;
 use memtis_workloads::{Benchmark, Scale};
 
 fn parse_ratio(s: &str) -> Option<Ratio> {
@@ -69,7 +70,7 @@ fn usage() -> ! {
         "usage: sweep [--jobs N] [--systems a,b,..] [--benches x,y,..] \
          [--ratios F:C,..] [--seeds K] [--accesses N] [--window EVENTS] \
          [--cxl] [--test-scale] [--migration-bw BYTES_PER_NS] \
-         [--migration-queue DEPTH] [--faults SPEC]"
+         [--migration-queue DEPTH] [--faults SPEC] [--chunk N]"
     );
     std::process::exit(2);
 }
@@ -92,6 +93,7 @@ fn main() {
     let mut migration_bw: Option<f64> = None;
     let mut migration_queue: Option<usize> = None;
     let mut faults: Option<memtis_sim::faults::FaultPlan> = None;
+    let mut chunk = DEFAULT_CHUNK;
 
     let mut i = 0;
     while i < args.len() {
@@ -148,6 +150,10 @@ fn main() {
                 }
                 i += 2;
             }
+            "--chunk" => {
+                chunk = value(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             "--cxl" => {
                 kind = CapacityKind::Cxl;
                 i += 1;
@@ -183,6 +189,7 @@ fn main() {
         migration_bw,
         migration_queue,
         faults,
+        chunk,
     };
     let result = run_sweep(&cells, &cfg);
     emit_sweep("sweep", &result);

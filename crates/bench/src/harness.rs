@@ -129,6 +129,7 @@ pub fn driver_config_with_window(window_events: u64) -> DriverConfig {
         migration_bw: None,
         migration_queue: None,
         faults: None,
+        chunk: DEFAULT_CHUNK,
     }
 }
 

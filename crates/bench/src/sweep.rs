@@ -21,7 +21,7 @@ use crate::harness::{
     DEFAULT_WINDOW_EVENTS, SEED,
 };
 use crate::report::{emit, emit_bench_json, Table};
-use memtis_sim::prelude::RunReport;
+use memtis_sim::prelude::{RunReport, DEFAULT_CHUNK};
 use memtis_workloads::{Benchmark, Scale};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -121,6 +121,8 @@ pub struct SweepConfig {
     pub migration_queue: Option<usize>,
     /// Seeded fault plan applied to every cell; `None` runs fault-free.
     pub faults: Option<memtis_sim::faults::FaultPlan>,
+    /// Driver chunk size; `0`/`1` forces the legacy per-event loop.
+    pub chunk: usize,
 }
 
 impl SweepConfig {
@@ -135,6 +137,7 @@ impl SweepConfig {
             migration_bw: None,
             migration_queue: None,
             faults: None,
+            chunk: DEFAULT_CHUNK,
         }
     }
 }
@@ -197,6 +200,7 @@ pub fn run_sweep_cell(cell: SweepCell, cfg: &SweepConfig) -> RunReport {
     driver.migration_bw = cfg.migration_bw;
     driver.migration_queue = cfg.migration_queue;
     driver.faults = cfg.faults;
+    driver.chunk = cfg.chunk;
     run_cell_seeded(
         cell.bench,
         cfg.scale,
@@ -368,6 +372,7 @@ mod tests {
             migration_bw: None,
             migration_queue: None,
             faults: None,
+            chunk: DEFAULT_CHUNK,
         }
     }
 

@@ -14,9 +14,9 @@ use crate::meta::{subpage_hotness, PageMeta, SubMeta};
 use crate::regions::RegionTable;
 use crate::threshold::{adapt, Thresholds};
 use memtis_sim::prelude::{
-    Access, AccessOutcome, EventKind, PageSize, PolicyDescriptor, PolicyOps, SimError,
-    ThresholdCause, TierId, TieringPolicy, TransferEnd, TransferId, VirtPage, HUGE_PAGE_SIZE,
-    NR_SUBPAGES,
+    Access, AccessKind, AccessOutcome, AccessRecord, EventKind, PageSize, PolicyDescriptor,
+    PolicyOps, RecordFilter, SimError, ThresholdCause, TierId, TieringPolicy, TransferEnd,
+    TransferId, VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES,
 };
 use memtis_tracking::pebs::{PebsSampler, PeriodController};
 use std::collections::VecDeque;
@@ -825,6 +825,81 @@ impl TieringPolicy for MemtisPolicy {
             }
             self.last_control_ns = now;
             self.window_cpu_ns = 0.0;
+        }
+    }
+
+    /// `on_access` only filters through the PEBS sampler, updates policy
+    /// bookkeeping, and *reads* the machine (RSS for the estimation
+    /// trigger, tier occupancy during cooling) — all mutation happens in
+    /// `tick`. That satisfies the deferral contract.
+    fn batch_safe(&self) -> bool {
+        true
+    }
+
+    /// PEBS programs two events — LLC-miss loads and retired stores — so an
+    /// LLC-hit load can never produce a sample ([`PebsSampler::observe`]
+    /// returns without touching a counter) and its record would only be
+    /// scanned and discarded by [`MemtisPolicy::on_access_batch`]. Waive it.
+    fn batch_record_filter(&self) -> RecordFilter {
+        RecordFilter {
+            llc_hit_loads: false,
+            ..RecordFilter::ALL
+        }
+    }
+
+    /// Geometric skip-sampling over a deferred batch: with the paper's
+    /// periods (1/200 LLC-miss loads, 1/100,000 stores) >99% of accesses
+    /// never produce a sample, so instead of running the sampler's counter
+    /// arithmetic per access, scan each run for the event at the firing
+    /// distance, bulk-skip the non-firing prefix in O(1), and deliver only
+    /// the firing event through the full per-sample path. The distances are
+    /// recomputed after every delivered sample because sample processing
+    /// can reconfigure the periods (dynamic period control, §4.1.1).
+    fn on_access_batch(&mut self, ops: &mut PolicyOps<'_>, batch: &[AccessRecord]) {
+        let mut i = 0;
+        while i < batch.len() {
+            let until_load = self.sampler.load_events_until_sample();
+            let until_store = self.sampler.store_events_until_sample();
+            let mut loads = 0u64;
+            let mut stores = 0u64;
+            let mut fire: Option<usize> = None;
+            for (k, rec) in batch[i..].iter().enumerate() {
+                match rec.access.kind {
+                    AccessKind::Load if rec.outcome.llc_miss => {
+                        loads += 1;
+                        if loads == until_load {
+                            fire = Some(k);
+                            break;
+                        }
+                    }
+                    AccessKind::Store => {
+                        stores += 1;
+                        if stores == until_store {
+                            fire = Some(k);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match fire {
+                Some(k) => {
+                    let rec = &batch[i + k];
+                    let (fired_loads, fired_stores) = match rec.access.kind {
+                        AccessKind::Load => (1, 0),
+                        AccessKind::Store => (0, 1),
+                    };
+                    self.sampler
+                        .skip(loads - fired_loads, stores - fired_stores);
+                    ops.set_now(rec.now_ns);
+                    self.on_access(ops, &rec.access, &rec.outcome);
+                    i += k + 1;
+                }
+                None => {
+                    self.sampler.skip(loads, stores);
+                    break;
+                }
+            }
         }
     }
 

@@ -113,6 +113,16 @@ impl WindowCollector {
         events - self.last_events >= self.every
     }
 
+    /// Events remaining at `events` total events before [`due`] becomes
+    /// true. Batched drivers cap a burst at this length so a window cut can
+    /// never fall in the middle of one.
+    ///
+    /// [`due`]: WindowCollector::due
+    #[inline]
+    pub fn events_until_due(&self, events: u64) -> u64 {
+        (self.last_events + self.every).saturating_sub(events)
+    }
+
     /// Whether any events accumulated since the last boundary (a final
     /// partial window should be closed).
     pub fn has_partial(&self, events: u64) -> bool {

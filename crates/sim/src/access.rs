@@ -70,6 +70,70 @@ pub struct AccessOutcome {
     pub demand_fault: bool,
 }
 
+/// One executed access awaiting deferred policy delivery: the access, what
+/// happened, and the simulated wall clock at which the per-event driver loop
+/// would have delivered it to [`TieringPolicy::on_access`].
+///
+/// [`TieringPolicy::on_access`]: crate::policy::TieringPolicy::on_access
+#[derive(Debug, Clone, Copy)]
+pub struct AccessRecord {
+    /// The access as issued by the workload.
+    pub access: Access,
+    /// The machine's outcome for it.
+    pub outcome: AccessOutcome,
+    /// Wall clock (ns) at delivery time — before this access's own latency
+    /// advanced the clock, exactly as the per-event loop timestamps it.
+    pub now_ns: f64,
+}
+
+/// Which classes of executed accesses a deferring driver must materialize
+/// as [`AccessRecord`]s for batched policy delivery.
+///
+/// The classes partition every access by the two fields policy samplers
+/// discriminate on: load vs store, and LLC hit vs miss. A policy whose
+/// `on_access` provably ignores a class (e.g. a PEBS-style sampler
+/// programmed for LLC-miss loads and retired stores never observes an
+/// LLC-hit load) can waive record collection for it; the machine still
+/// executes those accesses — state, statistics, and clocks advance
+/// normally — and the driver merely skips buffering and replaying their
+/// records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordFilter {
+    /// Materialize loads served by the LLC.
+    pub llc_hit_loads: bool,
+    /// Materialize loads that missed the LLC and paid a tier latency.
+    pub llc_miss_loads: bool,
+    /// Materialize stores.
+    pub stores: bool,
+}
+
+impl RecordFilter {
+    /// Record every access (required by any policy that replays records
+    /// one-by-one through `on_access`).
+    pub const ALL: RecordFilter = RecordFilter {
+        llc_hit_loads: true,
+        llc_miss_loads: true,
+        stores: true,
+    };
+
+    /// Record nothing (policies that ignore accesses entirely).
+    pub const NONE: RecordFilter = RecordFilter {
+        llc_hit_loads: false,
+        llc_miss_loads: false,
+        stores: false,
+    };
+
+    /// Whether an access with this kind and outcome must be recorded.
+    #[inline]
+    pub fn keeps(&self, kind: AccessKind, llc_miss: bool) -> bool {
+        match (kind, llc_miss) {
+            (AccessKind::Load, false) => self.llc_hit_loads,
+            (AccessKind::Load, true) => self.llc_miss_loads,
+            (AccessKind::Store, _) => self.stores,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

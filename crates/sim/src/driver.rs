@@ -14,7 +14,7 @@
 //! reproduces the paper's observation that HeMem's sampling thread hurts at
 //! 20 app threads but not at 16 (§6.2.9).
 
-use crate::access::Access;
+use crate::access::{Access, AccessOutcome, AccessRecord};
 use crate::addr::{PageSize, TierId, VirtAddr, VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES};
 use crate::config::MachineConfig;
 use crate::engine::EngineEvent;
@@ -22,7 +22,7 @@ use crate::error::{SimError, SimResult};
 use crate::faults::{
     FaultCounters, FaultInjector, FaultPlan, SampleFate, TickFate, DRIVER_FAULT_SALT,
 };
-use crate::machine::Machine;
+use crate::machine::{BatchClock, BatchStop, Machine};
 use crate::policy::{abort_failure, CostAccounting, CostSink, PolicyOps, TieringPolicy};
 use crate::stats::MachineStats;
 use memtis_obs::{
@@ -54,10 +54,41 @@ pub enum WorkloadEvent {
     },
 }
 
+/// Default main-loop batching granularity (events per [`AccessStream::fill`]
+/// call). Large enough to amortize per-chunk work over the ~1600-access tick
+/// intervals typical of bench configs, small enough that the chunk buffers
+/// stay cache-resident.
+pub const DEFAULT_CHUNK: usize = 1024;
+
 /// A source of workload events.
 pub trait AccessStream {
     /// The next event, or `None` when the workload is finished.
     fn next_event(&mut self) -> Option<WorkloadEvent>;
+
+    /// Fills `buf` with upcoming events, returning how many were written;
+    /// `0` means the stream is finished. Must produce exactly the sequence
+    /// repeated [`next_event`] calls would.
+    ///
+    /// The default delegates to [`next_event`]. Because default trait
+    /// methods are compiled once per implementation, even this fallback
+    /// dispatches `next_event` statically inside the loop — the driver pays
+    /// one virtual `fill` call per chunk instead of one per event.
+    /// Generators with a cheap bulk path override it.
+    ///
+    /// [`next_event`]: AccessStream::next_event
+    fn fill(&mut self, buf: &mut [WorkloadEvent]) -> usize {
+        let mut n = 0;
+        while n < buf.len() {
+            match self.next_event() {
+                Some(ev) => {
+                    buf[n] = ev;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 
     /// Workload name for reports.
     fn name(&self) -> &str;
@@ -89,6 +120,12 @@ pub struct DriverConfig {
     /// Fault-injection plan. `None` — and any inert plan — leaves every
     /// code path bit-exact with a normal run.
     pub faults: Option<FaultPlan>,
+    /// Main-loop batching granularity in events. Values above 1 pull events
+    /// through [`AccessStream::fill`] in chunks of this size and execute
+    /// access runs through the batched pipeline; `0` or `1` forces the
+    /// legacy one-event-at-a-time loop (the bit-exactness oracle). Both
+    /// paths produce byte-identical [`RunReport`]s.
+    pub chunk: usize,
 }
 
 impl Default for DriverConfig {
@@ -102,6 +139,7 @@ impl Default for DriverConfig {
             migration_bw: None,
             migration_queue: None,
             faults: None,
+            chunk: DEFAULT_CHUNK,
         }
     }
 }
@@ -479,8 +517,22 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             );
             self.policy.on_hint_fault(&mut ops, outcome.vpage);
         }
-        // Fault injection can drop a PEBS sample before the policy sees it
-        // (lossy perf buffer) or deliver it twice (replayed record).
+        self.notify_access(&access, &outcome);
+        let fault_work = self.acct.app_extra_ns - app_before;
+
+        self.app_access_ns += outcome.latency_ns;
+        self.wall_ns += (outcome.latency_ns + fault_work) / self.threads();
+        self.accesses += 1;
+        Ok(())
+    }
+
+    /// Delivers one executed access to the policy (daemon context),
+    /// applying the fault injector's sample fate — drop the sample before
+    /// the policy sees it (lossy perf buffer), deliver it, or deliver it
+    /// twice (replayed record). The *single* `policy.on_access` call site:
+    /// both the per-event path and the batched fault tails route through
+    /// here, so the fate logic cannot diverge between them.
+    fn notify_access(&mut self, access: &Access, outcome: &AccessOutcome) {
         let fate = match self.drv_faults.as_mut() {
             Some(inj) => inj.sample_fate(self.wall_ns, outcome.vpage.0),
             None => SampleFate::Deliver,
@@ -493,7 +545,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
                 CostSink::Daemon,
                 self.wall_ns,
             );
-            self.policy.on_access(&mut ops, &access, &outcome);
+            self.policy.on_access(&mut ops, access, outcome);
         }
         if fate == SampleFate::Duplicate {
             let mut ops = Self::ops(
@@ -503,14 +555,8 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
                 CostSink::Daemon,
                 self.wall_ns,
             );
-            self.policy.on_access(&mut ops, &access, &outcome);
+            self.policy.on_access(&mut ops, access, outcome);
         }
-        let fault_work = self.acct.app_extra_ns - app_before;
-
-        self.app_access_ns += outcome.latency_ns;
-        self.wall_ns += (outcome.latency_ns + fault_work) / self.threads();
-        self.accesses += 1;
-        Ok(())
     }
 
     /// Advances the asynchronous migration engine to the current wall
@@ -729,6 +775,186 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
         self.obs.on_window(sample);
     }
 
+    /// Processes one workload event plus the per-event bookkeeping the main
+    /// loop performs after it. Returns `true` when the run should stop
+    /// (`max_accesses` reached).
+    fn step_event(&mut self, ev: WorkloadEvent) -> SimResult<bool> {
+        self.sim_events += 1;
+        match ev {
+            WorkloadEvent::Access(a) => self.handle_access(a)?,
+            WorkloadEvent::Alloc { addr, bytes, thp } => self.handle_alloc(addr, bytes, thp)?,
+            WorkloadEvent::Free { addr, bytes } => self.handle_free(addr, bytes)?,
+        }
+        self.pump_transfers();
+        if self.has_faults {
+            self.emit_fault_records();
+        }
+        Ok(self.post_event_checks())
+    }
+
+    /// The boundary checks the main loop runs after every event: due ticks,
+    /// timeline snapshots, telemetry-window cuts, the access budget, and
+    /// the RSS peak. Returns `true` when `max_accesses` is reached. The
+    /// batched loop hoists this from per-event to per-burst, having sized
+    /// each burst so no check could have fired mid-burst.
+    fn post_event_checks(&mut self) -> bool {
+        if self.wall_ns >= self.next_tick {
+            self.run_due_ticks();
+        }
+        if self.wall_ns >= self.next_snapshot {
+            self.close_window();
+            self.next_snapshot = self.wall_ns + self.cfg.timeline_interval_ns;
+        }
+        if self.wcol.due(self.sim_events) {
+            self.cut_telemetry_window();
+        }
+        if let Some(max) = self.cfg.max_accesses {
+            if self.accesses >= max {
+                return true;
+            }
+        }
+        self.rss_peak = self.rss_peak.max(self.machine.rss_bytes());
+        false
+    }
+
+    /// The batched main loop: pulls events in [`DriverConfig::chunk`]-sized
+    /// chunks and executes runs of consecutive accesses through
+    /// [`Machine::access_batch`], hoisting the per-event boundary checks to
+    /// run granularity.
+    ///
+    /// Byte-exactness with the per-event loop rests on three invariants:
+    ///
+    /// 1. Deferral engages only on *quiet* runs — no migration engine
+    ///    (`bandwidth_limit` unset, so `pump_transfers` is a no-op and
+    ///    per-access fault work is exactly `0.0`), no fault injection
+    ///    (every sample fate is `Deliver`, no fault records) — under a
+    ///    policy declaring [`TieringPolicy::batch_safe`]. Anything else
+    ///    funnels through [`Simulation::step_event`] unchanged.
+    /// 2. A burst is sized so no boundary check could fire between two of
+    ///    its accesses: the clock stops at the next tick/snapshot boundary,
+    ///    and the length is capped by the window collector's
+    ///    remaining-event budget and the remaining access budget. The
+    ///    checks then run once after the burst — the first point the
+    ///    per-event loop could have seen them fire.
+    /// 3. Deferred `on_access` deliveries replay in order, each at its
+    ///    recorded pre-update wall clock, before any boundary work or
+    ///    fault tail that follows the burst.
+    ///
+    /// Hint faults stop the burst (the machine has executed the access;
+    /// the legacy tail replays its policy hooks and clock update here) and
+    /// demand faults stop it before any side effect (the event re-runs
+    /// through `step_event`).
+    fn run_chunked(&mut self, workload: &mut dyn AccessStream) -> SimResult<()> {
+        let chunk = self.cfg.chunk;
+        let mut buf = vec![WorkloadEvent::Access(Access::load(0)); chunk];
+        let mut records: Vec<AccessRecord> = Vec::with_capacity(chunk);
+        let defer = self.machine.config().migration.bandwidth_limit.is_none()
+            && !self.has_faults
+            && self.policy.batch_safe();
+        // Constant for the run, per the `batch_record_filter` contract.
+        let filter = self.policy.batch_record_filter();
+        'outer: loop {
+            let n = workload.fill(&mut buf);
+            if n == 0 {
+                break;
+            }
+            let mut i = 0;
+            while i < n {
+                if !defer || !matches!(buf[i], WorkloadEvent::Access(_)) {
+                    let ev = buf[i];
+                    i += 1;
+                    if self.step_event(ev)? {
+                        break 'outer;
+                    }
+                    continue;
+                }
+                let mut limit = (n - i) as u64;
+                limit = limit.min(self.wcol.events_until_due(self.sim_events));
+                if let Some(max) = self.cfg.max_accesses {
+                    // `max(1)`: if the budget is already exhausted (only
+                    // possible with `max_accesses: Some(0)`), the per-event
+                    // loop still executes one event before its check.
+                    limit = limit.min(max.saturating_sub(self.accesses).max(1));
+                }
+                debug_assert!(limit >= 1, "burst sizing must always make progress");
+                let mut clock = BatchClock {
+                    wall_ns: self.wall_ns,
+                    app_access_ns: self.app_access_ns,
+                    threads: self.threads(),
+                    stop_wall_ns: self.next_tick.min(self.next_snapshot),
+                };
+                records.clear();
+                let (consumed, stop) = self.machine.access_batch(
+                    &buf[i..i + limit as usize],
+                    &mut records,
+                    &mut clock,
+                    filter,
+                );
+                self.wall_ns = clock.wall_ns;
+                self.app_access_ns = clock.app_access_ns;
+                self.accesses += consumed as u64;
+                self.sim_events += consumed as u64;
+                i += consumed;
+                if !records.is_empty() {
+                    let mut ops = Self::ops(
+                        &mut self.machine,
+                        &mut self.acct,
+                        &mut self.obs,
+                        CostSink::Daemon,
+                        self.wall_ns,
+                    );
+                    self.policy.on_access_batch(&mut ops, &records);
+                }
+                match stop {
+                    BatchStop::Clean => {
+                        if consumed > 0 && self.post_event_checks() {
+                            break 'outer;
+                        }
+                    }
+                    BatchStop::Hint(outcome) => {
+                        // The access executed (trap cost included in its
+                        // latency); replay the per-event tail.
+                        let WorkloadEvent::Access(access) = buf[i] else {
+                            unreachable!("hint stop only fires on an access event");
+                        };
+                        self.sim_events += 1;
+                        i += 1;
+                        let app_before = self.acct.app_extra_ns;
+                        {
+                            let mut ops = Self::ops(
+                                &mut self.machine,
+                                &mut self.acct,
+                                &mut self.obs,
+                                CostSink::App,
+                                self.wall_ns,
+                            );
+                            self.policy.on_hint_fault(&mut ops, outcome.vpage);
+                        }
+                        self.notify_access(&access, &outcome);
+                        let fault_work = self.acct.app_extra_ns - app_before;
+                        self.app_access_ns += outcome.latency_ns;
+                        self.wall_ns += (outcome.latency_ns + fault_work) / self.threads();
+                        self.accesses += 1;
+                        self.pump_transfers();
+                        if self.post_event_checks() {
+                            break 'outer;
+                        }
+                    }
+                    BatchStop::NotMapped => {
+                        // No side effects yet: the demand fault replays
+                        // whole through the per-event path.
+                        let ev = buf[i];
+                        i += 1;
+                        if self.step_event(ev)? {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the workload to completion (or `max_accesses`) and reports.
     /// The simulation (machine and policy) remains inspectable afterwards.
     pub fn run(&mut self, workload: &mut dyn AccessStream) -> SimResult<RunReport> {
@@ -744,33 +970,14 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             );
             self.policy.init(&mut ops);
         }
-        while let Some(ev) = workload.next_event() {
-            self.sim_events += 1;
-            match ev {
-                WorkloadEvent::Access(a) => self.handle_access(a)?,
-                WorkloadEvent::Alloc { addr, bytes, thp } => self.handle_alloc(addr, bytes, thp)?,
-                WorkloadEvent::Free { addr, bytes } => self.handle_free(addr, bytes)?,
-            }
-            self.pump_transfers();
-            if self.has_faults {
-                self.emit_fault_records();
-            }
-            if self.wall_ns >= self.next_tick {
-                self.run_due_ticks();
-            }
-            if self.wall_ns >= self.next_snapshot {
-                self.close_window();
-                self.next_snapshot = self.wall_ns + self.cfg.timeline_interval_ns;
-            }
-            if self.wcol.due(self.sim_events) {
-                self.cut_telemetry_window();
-            }
-            if let Some(max) = self.cfg.max_accesses {
-                if self.accesses >= max {
+        if self.cfg.chunk > 1 {
+            self.run_chunked(workload)?;
+        } else {
+            while let Some(ev) = workload.next_event() {
+                if self.step_event(ev)? {
                     break;
                 }
             }
-            self.rss_peak = self.rss_peak.max(self.machine.rss_bytes());
         }
         self.pump_transfers();
         if self.has_faults {
@@ -1053,6 +1260,141 @@ mod tests {
         sim.run(&mut promote_workload()).unwrap();
         assert!(sim.policy().asked);
         assert!(sim.policy().ended.is_empty());
+    }
+
+    /// Debug-formats a report with the host timing zeroed — the only field
+    /// allowed to differ between two byte-identical runs.
+    fn report_sig(mut r: RunReport) -> String {
+        r.host_elapsed_ns = 0;
+        format!("{r:?}")
+    }
+
+    /// A deterministic event mix: same-page access runs (coalesced path),
+    /// loads/stores, demand faults past the mapped range, and occasional
+    /// frees.
+    fn mixed_events(n: usize) -> Vec<WorkloadEvent> {
+        let mut events = vec![WorkloadEvent::Alloc {
+            addr: VirtAddr(0),
+            bytes: 2 * HUGE_PAGE_SIZE,
+            thp: true,
+        }];
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut i = 0u64;
+        while events.len() < n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = x >> 33;
+            let page = r % 1200; // ~15% past the 1024 mapped pages
+            let addr = page * 4096 + (r % 500) * 8;
+            let ev = if r.is_multiple_of(7) {
+                WorkloadEvent::Access(Access::store(addr))
+            } else {
+                WorkloadEvent::Access(Access::load(addr))
+            };
+            for _ in 0..=(r % 3) {
+                events.push(ev);
+            }
+            i += 1;
+            if i.is_multiple_of(289) {
+                events.push(WorkloadEvent::Free {
+                    addr: VirtAddr(1040 * 4096),
+                    bytes: 4 * 4096,
+                });
+            }
+        }
+        events
+    }
+
+    /// Batch-safe policy that arms NUMA hints from ticks and charges
+    /// app-side fault work — exercising the batched loop's hint tail and
+    /// its fault-work clock arithmetic.
+    struct ArmHints {
+        next: u64,
+    }
+
+    impl TieringPolicy for ArmHints {
+        fn descriptor(&self) -> crate::policy::PolicyDescriptor {
+            NoopPolicy.descriptor()
+        }
+        fn batch_safe(&self) -> bool {
+            true
+        }
+        fn tick(&mut self, ops: &mut PolicyOps<'_>) {
+            for _ in 0..4 {
+                ops.set_hint(VirtPage(self.next % 1024));
+                self.next = self.next.wrapping_add(97);
+            }
+        }
+        fn on_hint_fault(&mut self, ops: &mut PolicyOps<'_>, _vpage: VirtPage) {
+            ops.charge(75.0);
+        }
+    }
+
+    #[test]
+    fn chunked_loop_matches_per_event_loop_byte_for_byte() {
+        let run = |chunk: usize| {
+            let mut wl = Script::new(mixed_events(6_000));
+            let mut sim = Simulation::new(
+                cfg(),
+                ArmHints { next: 5 },
+                DriverConfig {
+                    tick_interval_ns: 5_000.0,
+                    timeline_interval_ns: 20_000.0,
+                    window_events: 37,
+                    max_accesses: Some(5_500),
+                    chunk,
+                    ..Default::default()
+                },
+            );
+            report_sig(sim.run(&mut wl).unwrap())
+        };
+        let legacy = run(1);
+        for chunk in [2, 7, 64, DEFAULT_CHUNK] {
+            assert_eq!(legacy, run(chunk), "chunk {chunk} diverged from legacy");
+        }
+    }
+
+    #[test]
+    fn chunked_loop_matches_for_non_batch_safe_policy() {
+        // PromoteOnce keeps the default `batch_safe() == false`, so the
+        // chunked loop must funnel every event through the per-event path
+        // — with and without the async migration engine.
+        for bw in [None, Some(1.0)] {
+            let run = |chunk: usize| {
+                let mut sim = Simulation::new(
+                    cfg(),
+                    PromoteOnce::new(),
+                    DriverConfig {
+                        tick_interval_ns: 10_000.0,
+                        migration_bw: bw,
+                        chunk,
+                        ..Default::default()
+                    },
+                );
+                report_sig(sim.run(&mut promote_workload()).unwrap())
+            };
+            assert_eq!(run(1), run(DEFAULT_CHUNK), "bw {bw:?} diverged");
+        }
+    }
+
+    #[test]
+    fn default_fill_matches_next_event() {
+        let evs = mixed_events(100);
+        let mut bulk = Script::new(evs.clone());
+        let mut single = Script::new(evs);
+        let mut buf = vec![WorkloadEvent::Access(Access::load(0)); 7];
+        loop {
+            let n = bulk.fill(&mut buf);
+            if n == 0 {
+                assert!(single.next_event().is_none());
+                break;
+            }
+            for ev in &buf[..n] {
+                let expect = single.next_event().unwrap();
+                assert_eq!(format!("{ev:?}"), format!("{expect:?}"));
+            }
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod util;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::access::{Access, AccessKind, AccessOutcome};
+    pub use crate::access::{Access, AccessKind, AccessOutcome, AccessRecord, RecordFilter};
     pub use crate::addr::{
         Frame, PageSize, PhysAddr, TierId, VirtAddr, VirtPage, BASE_PAGE_SIZE, HUGE_PAGE_SIZE,
         NR_SUBPAGES,
@@ -55,7 +55,7 @@ pub mod prelude {
         CostModel, MachineConfig, MemoryKind, MigrationConfig, TierSpec, TlbSpec,
     };
     pub use crate::driver::{
-        AccessStream, DriverConfig, RunReport, Simulation, Snapshot, WorkloadEvent,
+        AccessStream, DriverConfig, RunReport, Simulation, Snapshot, WorkloadEvent, DEFAULT_CHUNK,
     };
     pub use crate::engine::{AbortCause, EngineEvent, MigrationHandle, TransferEnd, TransferId};
     pub use crate::error::{SimError, SimResult};
@@ -63,7 +63,7 @@ pub mod prelude {
         FaultCounters, FaultInjector, FaultPlan, FaultRecord, FaultRng, OutageSpec, PressureSpec,
         SampleFate, TickFate,
     };
-    pub use crate::machine::{Machine, MigrateOutcome, SplitOutcome};
+    pub use crate::machine::{BatchClock, BatchStop, Machine, MigrateOutcome, SplitOutcome};
     pub use crate::policy::{
         CostAccounting, CostSink, NoopPolicy, PolicyDescriptor, PolicyOps, TieringPolicy,
     };

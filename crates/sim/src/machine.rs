@@ -8,7 +8,7 @@
 //! NUMA-hint arming — each returning the nanosecond cost the caller must
 //! attribute to either the application critical path or a background daemon.
 
-use crate::access::{Access, AccessOutcome};
+use crate::access::{Access, AccessOutcome, AccessRecord, RecordFilter};
 use crate::addr::{Frame, PageSize, TierId, VirtPage, BASE_PAGE_SIZE, NR_SUBPAGES};
 use crate::cache::Llc;
 use crate::config::MachineConfig;
@@ -47,6 +47,80 @@ pub struct MigrateOutcome {
     pub to: TierId,
     /// Bytes copied by the operation.
     pub bytes: u64,
+}
+
+/// Driver clock state threaded through [`Machine::access_batch`] so the
+/// machine can fold wall-clock accumulation into the chunk loop with the
+/// exact arithmetic the per-event driver uses.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchClock {
+    /// Simulated wall-clock time (ns); advanced by `latency / threads` per
+    /// access, bitwise-identical to the per-event loop's quiet-mode update.
+    pub wall_ns: f64,
+    /// Cumulative application access time (ns); advanced by raw latency.
+    pub app_access_ns: f64,
+    /// Application thread count (the per-access wall divisor).
+    pub threads: f64,
+    /// The batch stops as soon as `wall_ns` reaches this (the driver's next
+    /// tick or snapshot boundary), so no timer can fire mid-burst.
+    pub stop_wall_ns: f64,
+}
+
+/// Why [`Machine::access_batch`] stopped consuming its slice.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchStop {
+    /// The slice was exhausted, or the clock reached `stop_wall_ns`; every
+    /// consumed access was recorded.
+    Clean,
+    /// The access at index `consumed` took a NUMA-hint fault. It *executed*
+    /// (its outcome is carried here) but was not recorded or clocked — the
+    /// driver replays the legacy hint tail (policy hooks, fault-work
+    /// accounting) for it.
+    Hint(AccessOutcome),
+    /// The access at index `consumed` hit an unmapped page and had no side
+    /// effects; the driver demand-faults it through the per-event path.
+    NotMapped,
+}
+
+/// One resolved mapping memoized by [`Machine::access_coalesced`].
+#[derive(Clone, Copy)]
+struct CoalesceMemo {
+    /// Base vpage of the mapping (huge-aligned for a huge mapping).
+    key: VirtPage,
+    /// Frame of `key` (first subpage frame for a huge mapping).
+    base_frame: Frame,
+    size: PageSize,
+    tier: TierId,
+    /// TLB way the translation is resident in plus the [`Tlb::epoch`] that
+    /// located it, once a repeat has looked it up; repeats at the same
+    /// epoch replay the hit without re-scanning the set.
+    ///
+    /// [`Tlb::epoch`]: crate::tlb::Tlb::epoch
+    tlb_way: Option<(usize, u64)>,
+}
+
+/// Per-burst mapping memo for [`Machine::access_coalesced`]: a small
+/// direct-mapped cache over 2 MiB virtual regions, so workloads that
+/// interleave a handful of concurrently-advancing region cursors (each
+/// staying inside one huge page for hundreds of its accesses) coalesce as
+/// well as strictly consecutive same-page runs do. Collisions simply evict —
+/// this is a pure performance memo; the evicted mapping re-resolves through
+/// the full path.
+#[derive(Default)]
+struct CoalesceCache {
+    ways: [Option<CoalesceMemo>; Self::WAYS],
+}
+
+impl CoalesceCache {
+    /// Power of two; roms interleaves 4 weighted regions, and a little slack
+    /// keeps unrelated scans from thrashing them.
+    const WAYS: usize = 8;
+
+    /// Slot for the 2 MiB virtual region containing `vpage`.
+    #[inline]
+    fn slot(vpage: VirtPage) -> usize {
+        (vpage.0 as usize >> 9) & (Self::WAYS - 1)
+    }
 }
 
 /// The simulated machine.
@@ -288,6 +362,13 @@ impl Machine {
     /// implementation (enforced by a property test).
     #[inline]
     pub fn access(&mut self, access: Access) -> SimResult<AccessOutcome> {
+        self.access_with_frame(access).map(|(out, _)| out)
+    }
+
+    /// [`Machine::access`] plus the resolved frame, which the batched path
+    /// needs to seed its same-page coalescing cache without a second walk.
+    #[inline]
+    fn access_with_frame(&mut self, access: Access) -> SimResult<(AccessOutcome, Frame)> {
         let vpage = access.vaddr.base_page();
         let is_store = access.is_store();
 
@@ -372,16 +453,216 @@ impl Machine {
             self.stats.loads += 1;
         }
 
-        Ok(AccessOutcome {
-            latency_ns: latency,
-            vpage,
-            page_size: size,
-            tier,
-            llc_miss: !llc_hit,
-            tlb_miss: !tlb_hit,
-            hint_fault,
-            demand_fault: false,
-        })
+        Ok((
+            AccessOutcome {
+                latency_ns: latency,
+                vpage,
+                page_size: size,
+                tier,
+                llc_miss: !llc_hit,
+                tlb_miss: !tlb_hit,
+                hint_fault,
+                demand_fault: false,
+            },
+            frame,
+        ))
+    }
+
+    /// Executes the run of [`WorkloadEvent::Access`] events at the head of
+    /// `events` in one call, coalescing consecutive same-mapping loads and
+    /// folding wall-clock accounting into the loop. Stops — without
+    /// consuming it — at the first non-access event.
+    ///
+    /// Each clean access the `filter` keeps is appended to `out` (stamped
+    /// with the wall clock *before* its own latency advances it — the
+    /// instant the per-event loop would deliver it to the policy); every
+    /// access, kept or waived, executes and advances `clock` exactly as the
+    /// per-event driver does. Returns how many events were consumed and
+    /// why the call stopped; see [`BatchStop`] for the fault cases, which
+    /// the driver finishes through the legacy per-event path.
+    ///
+    /// Bit-exactness of the coalesced fast path: the batch's first access
+    /// to a mapping clears the hint bit and sets the accessed/dirty bits,
+    /// so the walk on each repeat is pure recomputation — but the TLB and
+    /// LLC are stateful (stamp updates, set rotation) and are still driven
+    /// per access; see [`Machine::access_coalesced`]. Stores always take
+    /// the full path (subpage dirty bookkeeping), as does any access while
+    /// the migration engine holds active transfers (in-flight dirty
+    /// tracking, link contention).
+    ///
+    /// [`WorkloadEvent::Access`]: crate::driver::WorkloadEvent::Access
+    pub fn access_batch(
+        &mut self,
+        events: &[crate::driver::WorkloadEvent],
+        out: &mut Vec<AccessRecord>,
+        clock: &mut BatchClock,
+        filter: RecordFilter,
+    ) -> (usize, BatchStop) {
+        let engine_active = self.engine.has_active();
+        let mut cache = CoalesceCache::default();
+        for (i, ev) in events.iter().enumerate() {
+            let crate::driver::WorkloadEvent::Access(access) = *ev else {
+                return (i, BatchStop::Clean);
+            };
+            let res = if engine_active {
+                self.access(access)
+            } else {
+                self.access_coalesced(access, &mut cache)
+            };
+            let outcome = match res {
+                Ok(out) => out,
+                Err(_) => return (i, BatchStop::NotMapped),
+            };
+            if outcome.hint_fault {
+                return (i, BatchStop::Hint(outcome));
+            }
+            if filter.keeps(access.kind, outcome.llc_miss) {
+                out.push(AccessRecord {
+                    access,
+                    outcome,
+                    now_ns: clock.wall_ns,
+                });
+            }
+            clock.app_access_ns += outcome.latency_ns;
+            clock.wall_ns += outcome.latency_ns / clock.threads;
+            if clock.wall_ns >= clock.stop_wall_ns {
+                return (i + 1, BatchStop::Clean);
+            }
+        }
+        (events.len(), BatchStop::Clean)
+    }
+
+    /// One access with a mapping memo: an access to a mapping some earlier
+    /// access in this batch resolved — the same base page, or any subpage of
+    /// the same huge page — skips the hint handling and tier lookup, and for
+    /// loads the page walk as well (a repeat store still walks, through the
+    /// table's walk cache, for its dirty bookkeeping). Only sound with the
+    /// migration engine idle (the caller checks).
+    ///
+    /// Coalescing a repeat is exact because the mapping's reference/hint
+    /// bits live on the one shared entry (already set and cleared by the
+    /// batch's first access to it, so a repeat load's walk would be pure
+    /// recomputation — and nothing re-arms hints or remaps pages mid-batch:
+    /// policy delivery is deferred, boundary work is hoisted, the engine is
+    /// idle), a huge mapping's subpage frames are contiguous from the cached
+    /// base frame, and a huge frame block lives wholly in one tier. The
+    /// stateful structures — TLB, LLC, page-table dirty bits, statistics —
+    /// still tick per access; a repeat *can* miss the TLB (another region's
+    /// insert may have evicted it) and then pays the walk latency exactly
+    /// as the full path would.
+    #[inline(always)]
+    fn access_coalesced(
+        &mut self,
+        access: Access,
+        cache: &mut CoalesceCache,
+    ) -> SimResult<AccessOutcome> {
+        let vpage = access.vaddr.base_page();
+        let slot = CoalesceCache::slot(vpage);
+        if let Some(memo) = cache.ways[slot].as_mut() {
+            let CoalesceMemo {
+                key,
+                base_frame,
+                size,
+                tier,
+                ..
+            } = *memo;
+            let (same, frame) = match size {
+                PageSize::Base => (key == vpage, base_frame),
+                PageSize::Huge => (
+                    key == vpage.huge_aligned(),
+                    base_frame.add(vpage.subpage_index() as u64),
+                ),
+            };
+            if same {
+                let is_store = access.is_store();
+                if is_store {
+                    // Dirty bookkeeping is per-subpage state the memo cannot
+                    // carry; take the (walk-cache-accelerated) walk exactly
+                    // as the full path would. The hint is guaranteed clear.
+                    match self.pt.walk_mut(vpage) {
+                        Some(EntryMut::Base(p)) => {
+                            debug_assert!(!p.hint, "hint re-armed mid-batch");
+                            p.hint = false;
+                            p.accessed = true;
+                            p.dirty = true;
+                            p.ever_written = true;
+                        }
+                        Some(EntryMut::Huge(h)) => {
+                            debug_assert!(!h.hint, "hint re-armed mid-batch");
+                            h.hint = false;
+                            h.accessed = true;
+                            h.dirty = true;
+                            h.mark_subpage_written(vpage.subpage_index());
+                        }
+                        None => unreachable!("memoized mapping unmapped mid-batch"),
+                    }
+                }
+                // The first repeat memoizes the TLB hit way; later repeats
+                // replay the hit without re-scanning the set, as long as no
+                // insert/invalidate/flush has moved entries since (epoch
+                // check).
+                let mut latency = 0.0;
+                let tlb_hit = match memo.tlb_way {
+                    Some((way, epoch)) if epoch == self.tlb.epoch() => {
+                        self.tlb.touch_hit(size, way);
+                        true
+                    }
+                    _ => {
+                        let way = self.tlb.lookup_memo(vpage, size);
+                        memo.tlb_way = way.map(|w| (w, self.tlb.epoch()));
+                        way.is_some()
+                    }
+                };
+                if !tlb_hit {
+                    latency += size.walk_levels() as f64 * self.cfg.costs.walk_level_ns;
+                    self.tlb.insert(vpage, size);
+                }
+                let paddr = crate::addr::PhysAddr(frame.addr().0 + access.vaddr.base_offset());
+                let llc_hit = self.llc.access(paddr);
+                if llc_hit {
+                    latency += self.cfg.costs.llc_hit_ns;
+                } else {
+                    let spec = self.cfg.tier(tier);
+                    latency += if is_store {
+                        spec.store_ns
+                    } else {
+                        spec.load_ns
+                    };
+                    self.stats.count_tier_hit(tier);
+                }
+                if is_store {
+                    self.stats.stores += 1;
+                } else {
+                    self.stats.loads += 1;
+                }
+                return Ok(AccessOutcome {
+                    latency_ns: latency,
+                    vpage,
+                    page_size: size,
+                    tier,
+                    llc_miss: !llc_hit,
+                    tlb_miss: !tlb_hit,
+                    hint_fault: false,
+                    demand_fault: false,
+                });
+            }
+        }
+        let (out, frame) = self.access_with_frame(access)?;
+        let (key, base_frame) = match out.page_size {
+            PageSize::Base => (vpage, frame),
+            PageSize::Huge => (
+                vpage.huge_aligned(),
+                Frame(frame.0 - vpage.subpage_index() as u64),
+            ),
+        };
+        cache.ways[slot] = Some(CoalesceMemo {
+            key,
+            base_frame,
+            size: out.page_size,
+            tier: out.tier,
+            tlb_way: None,
+        });
+        Ok(out)
     }
 
     /// The original triple-walk implementation of [`Machine::access`], kept
@@ -961,6 +1242,194 @@ mod tests {
         let o3 = m.access(Access::store(64)).unwrap();
         assert!(o3.llc_miss && !o3.tlb_miss);
         assert_eq!(o3.latency_ns, 400.0);
+    }
+
+    #[test]
+    fn access_batch_matches_sequential_accesses() {
+        let mut batched = machine();
+        let mut oracle = machine();
+        for m in [&mut batched, &mut oracle] {
+            m.alloc_and_map(VirtPage(0), PageSize::Huge, TierId::FAST)
+                .unwrap();
+            m.alloc_and_map(VirtPage(512), PageSize::Base, TierId::CAPACITY)
+                .unwrap();
+        }
+        // Same-page load runs (coalesced), interleaved stores and page
+        // changes (full path).
+        let accesses = vec![
+            Access::load(64),
+            Access::load(128),
+            Access::load(8),
+            Access::store(512 * 4096),
+            Access::load(512 * 4096 + 32),
+            Access::load(512 * 4096 + 8),
+            Access::load(4096 * 3),
+            Access::store(4096 * 3 + 16),
+            Access::load(4096 * 3 + 24),
+        ];
+        let threads = 4.0;
+        let mut clock = BatchClock {
+            wall_ns: 0.0,
+            app_access_ns: 0.0,
+            threads,
+            stop_wall_ns: f64::INFINITY,
+        };
+        let mut recs = Vec::new();
+        let events: Vec<_> = accesses
+            .iter()
+            .map(|&a| crate::driver::WorkloadEvent::Access(a))
+            .collect();
+        let (n, stop) = batched.access_batch(&events, &mut recs, &mut clock, RecordFilter::ALL);
+        assert_eq!(n, accesses.len());
+        assert!(matches!(stop, BatchStop::Clean));
+
+        let mut wall = 0.0f64;
+        let mut app = 0.0f64;
+        for (rec, &a) in recs.iter().zip(&accesses) {
+            let o = oracle.access(a).unwrap();
+            assert_eq!(rec.now_ns.to_bits(), wall.to_bits());
+            assert_eq!(rec.outcome.latency_ns.to_bits(), o.latency_ns.to_bits());
+            assert_eq!(rec.outcome.vpage, o.vpage);
+            assert_eq!(rec.outcome.tier, o.tier);
+            assert_eq!(rec.outcome.llc_miss, o.llc_miss);
+            assert_eq!(rec.outcome.tlb_miss, o.tlb_miss);
+            app += o.latency_ns;
+            wall += o.latency_ns / threads;
+        }
+        assert_eq!(clock.wall_ns.to_bits(), wall.to_bits());
+        assert_eq!(clock.app_access_ns.to_bits(), app.to_bits());
+        assert_eq!(
+            format!("{:?}", batched.stats),
+            format!("{:?}", oracle.stats)
+        );
+    }
+
+    #[test]
+    fn access_batch_stops_at_hint_fault_and_unmapped() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Base, TierId::FAST)
+            .unwrap();
+        m.set_hint(VirtPage(0));
+        let events = [
+            crate::driver::WorkloadEvent::Access(Access::load(64)),
+            crate::driver::WorkloadEvent::Access(Access::load(0)),
+        ];
+        let mut clock = BatchClock {
+            wall_ns: 0.0,
+            app_access_ns: 0.0,
+            threads: 1.0,
+            stop_wall_ns: f64::INFINITY,
+        };
+        let mut recs = Vec::new();
+        // Index 0 takes the hint fault: executed but not recorded/clocked.
+        let (n, stop) = m.access_batch(&events, &mut recs, &mut clock, RecordFilter::ALL);
+        assert_eq!(n, 0);
+        assert!(recs.is_empty());
+        assert_eq!(clock.wall_ns, 0.0);
+        match stop {
+            BatchStop::Hint(out) => assert!(out.hint_fault),
+            other => panic!("expected hint stop, got {other:?}"),
+        }
+        assert_eq!(m.stats.hint_faults, 1);
+        // An unmapped page stops the batch with no side effects; a
+        // non-access event stops it cleanly without being consumed.
+        let events = [
+            crate::driver::WorkloadEvent::Access(Access::load(0)),
+            crate::driver::WorkloadEvent::Access(Access::load(99 * 4096)),
+        ];
+        let (n, stop) = m.access_batch(&events, &mut recs, &mut clock, RecordFilter::ALL);
+        assert_eq!(n, 1);
+        assert!(matches!(stop, BatchStop::NotMapped));
+        assert_eq!(recs.len(), 1);
+        let events = [
+            crate::driver::WorkloadEvent::Access(Access::load(0)),
+            crate::driver::WorkloadEvent::Free {
+                addr: crate::addr::VirtAddr(0),
+                bytes: 4096,
+            },
+            crate::driver::WorkloadEvent::Access(Access::load(0)),
+        ];
+        recs.clear();
+        let (n, stop) = m.access_batch(&events, &mut recs, &mut clock, RecordFilter::ALL);
+        assert_eq!(n, 1);
+        assert!(matches!(stop, BatchStop::Clean));
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn access_batch_filter_waives_records_not_execution() {
+        let mut filtered = machine();
+        let mut full = machine();
+        for m in [&mut filtered, &mut full] {
+            m.alloc_and_map(VirtPage(0), PageSize::Base, TierId::FAST)
+                .unwrap();
+        }
+        let events = [
+            crate::driver::WorkloadEvent::Access(Access::load(0)),
+            crate::driver::WorkloadEvent::Access(Access::load(0)),
+            crate::driver::WorkloadEvent::Access(Access::store(64)),
+            crate::driver::WorkloadEvent::Access(Access::load(0)),
+        ];
+        let mk_clock = || BatchClock {
+            wall_ns: 0.0,
+            app_access_ns: 0.0,
+            threads: 1.0,
+            stop_wall_ns: f64::INFINITY,
+        };
+        let filter = RecordFilter {
+            llc_hit_loads: false,
+            ..RecordFilter::ALL
+        };
+        let mut recs = Vec::new();
+        let mut clock = mk_clock();
+        let (n, _) = filtered.access_batch(&events, &mut recs, &mut clock, filter);
+        assert_eq!(n, events.len());
+        // The second and fourth loads hit the line the first access pulled
+        // in; only the miss load and the store are materialized.
+        assert_eq!(recs.len(), 2);
+        assert!(recs
+            .iter()
+            .all(|r| r.outcome.llc_miss || r.access.is_store()));
+        // Execution is unaffected: clocks and machine statistics match the
+        // unfiltered run, and each kept record keeps its original timestamp.
+        let mut full_recs = Vec::new();
+        let mut full_clock = mk_clock();
+        full.access_batch(&events, &mut full_recs, &mut full_clock, RecordFilter::ALL);
+        assert_eq!(full_recs.len(), events.len());
+        assert_eq!(clock.wall_ns.to_bits(), full_clock.wall_ns.to_bits());
+        assert_eq!(format!("{:?}", filtered.stats), format!("{:?}", full.stats));
+        let kept: Vec<_> = full_recs
+            .iter()
+            .filter(|r| filter.keeps(r.access.kind, r.outcome.llc_miss))
+            .collect();
+        assert_eq!(
+            format!("{recs:?}"),
+            format!("{:?}", kept.iter().map(|r| **r).collect::<Vec<_>>())
+        );
+    }
+
+    #[test]
+    fn access_batch_respects_stop_wall() {
+        let mut m = machine();
+        m.alloc_and_map(VirtPage(0), PageSize::Base, TierId::FAST)
+            .unwrap();
+        let events = [
+            crate::driver::WorkloadEvent::Access(Access::load(0)),
+            crate::driver::WorkloadEvent::Access(Access::load(8)),
+            crate::driver::WorkloadEvent::Access(Access::load(16)),
+        ];
+        // First access costs 4*25 + 100 = 200 ns at 1 thread; stop there.
+        let mut clock = BatchClock {
+            wall_ns: 0.0,
+            app_access_ns: 0.0,
+            threads: 1.0,
+            stop_wall_ns: 150.0,
+        };
+        let mut recs = Vec::new();
+        let (n, stop) = m.access_batch(&events, &mut recs, &mut clock, RecordFilter::ALL);
+        assert_eq!(n, 1);
+        assert!(matches!(stop, BatchStop::Clean));
+        assert!(clock.wall_ns >= 150.0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the page-fault handler (AutoNUMA, TPP, ...) from MEMTIS, whose entire
 //! pipeline runs in the background (§4.2.3).
 
-use crate::access::{Access, AccessOutcome};
+use crate::access::{Access, AccessOutcome, AccessRecord, RecordFilter};
 use crate::addr::{PageSize, TierId, VirtPage};
 use crate::engine::{AbortCause, MigrationHandle, TransferEnd, TransferId};
 use crate::error::{SimError, SimResult};
@@ -127,6 +127,15 @@ impl<'a> PolicyOps<'a> {
     /// Current simulated wall-clock time (ns).
     pub fn now_ns(&self) -> f64 {
         self.now_ns
+    }
+
+    /// Rewinds/advances the handle's notion of "now" (ns). The batched
+    /// driver builds one handle per chunk and replays each deferred access
+    /// at its recorded delivery time, so charges and trace events carry the
+    /// same timestamps the per-event loop would have produced.
+    #[inline]
+    pub fn set_now(&mut self, now_ns: f64) {
+        self.now_ns = now_ns;
     }
 
     /// Which sink costs are currently charged to.
@@ -426,6 +435,56 @@ pub trait TieringPolicy {
     /// LLC, which tier served it, etc.). Sampling-based policies filter here.
     fn on_access(&mut self, _ops: &mut PolicyOps<'_>, _access: &Access, _outcome: &AccessOutcome) {}
 
+    /// Whether this policy's [`on_access`] may be deferred and replayed in
+    /// batches.
+    ///
+    /// Contract: `on_access` must neither mutate the machine (no migrations,
+    /// splits, hint arming — only [`PolicyOps::charge`]/[`PolicyOps::emit`]
+    /// and machine *reads*) nor depend on machine state that executing the
+    /// *next few accesses* would change (per-access stats, TLB/LLC contents,
+    /// reference bits), and must never charge the `App` sink. The batched
+    /// driver then executes a run of accesses in the machine first and
+    /// delivers the deferred records afterwards via [`on_access_batch`],
+    /// which is observationally identical under this contract. Policies that
+    /// react to individual accesses in place (HeMem, TMTS) keep the default
+    /// `false` and run per-event.
+    ///
+    /// [`on_access`]: TieringPolicy::on_access
+    /// [`on_access_batch`]: TieringPolicy::on_access_batch
+    fn batch_safe(&self) -> bool {
+        false
+    }
+
+    /// Which access classes the deferring driver must record for
+    /// [`on_access_batch`]. Only consulted when [`batch_safe`] is true, and
+    /// must stay constant for the lifetime of a run. A policy that narrows
+    /// this below [`RecordFilter::ALL`] must override `on_access_batch`
+    /// consistently — the waived accesses still execute (machine state and
+    /// clocks advance normally) but never appear in a batch, so the default
+    /// record-by-record replay would silently diverge from per-event
+    /// delivery if `on_access` reacted to them.
+    ///
+    /// [`batch_safe`]: TieringPolicy::batch_safe
+    /// [`on_access_batch`]: TieringPolicy::on_access_batch
+    fn batch_record_filter(&self) -> RecordFilter {
+        RecordFilter::ALL
+    }
+
+    /// Delivers a run of deferred access records (daemon context).
+    ///
+    /// Only called when [`batch_safe`] returns true. The default replays
+    /// each record through [`on_access`] at its recorded wall-clock time;
+    /// sampling policies override this to skip whole unsampled runs in O(1).
+    ///
+    /// [`batch_safe`]: TieringPolicy::batch_safe
+    /// [`on_access`]: TieringPolicy::on_access
+    fn on_access_batch(&mut self, ops: &mut PolicyOps<'_>, batch: &[AccessRecord]) {
+        for rec in batch {
+            ops.set_now(rec.now_ns);
+            self.on_access(ops, &rec.access, &rec.outcome);
+        }
+    }
+
     /// A NUMA-hint fault fired on `vpage` (the fault trap cost was already
     /// charged to the application by the machine).
     fn on_hint_fault(&mut self, _ops: &mut PolicyOps<'_>, _vpage: VirtPage) {}
@@ -484,6 +543,15 @@ impl TieringPolicy for Box<dyn TieringPolicy> {
     fn on_access(&mut self, ops: &mut PolicyOps<'_>, access: &Access, outcome: &AccessOutcome) {
         (**self).on_access(ops, access, outcome)
     }
+    fn batch_safe(&self) -> bool {
+        (**self).batch_safe()
+    }
+    fn batch_record_filter(&self) -> RecordFilter {
+        (**self).batch_record_filter()
+    }
+    fn on_access_batch(&mut self, ops: &mut PolicyOps<'_>, batch: &[AccessRecord]) {
+        (**self).on_access_batch(ops, batch)
+    }
     fn on_hint_fault(&mut self, ops: &mut PolicyOps<'_>, vpage: VirtPage) {
         (**self).on_hint_fault(ops, vpage)
     }
@@ -526,6 +594,15 @@ impl TieringPolicy for NoopPolicy {
             critical_path_migration: "None",
             page_size_handling: "None",
         }
+    }
+
+    fn batch_safe(&self) -> bool {
+        true
+    }
+
+    /// `on_access` is a no-op, so no record is ever consumed.
+    fn batch_record_filter(&self) -> RecordFilter {
+        RecordFilter::NONE
     }
 }
 

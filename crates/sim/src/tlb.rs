@@ -76,16 +76,31 @@ impl TlbArray {
     }
 
     fn lookup(&mut self, tag: u64) -> bool {
+        self.lookup_way(tag).is_some()
+    }
+
+    /// [`TlbArray::lookup`] returning the hit way's index into `entries`,
+    /// so a caller that knows the tag stays resident can [`TlbArray::touch`]
+    /// it without re-scanning the set.
+    fn lookup_way(&mut self, tag: u64) -> Option<usize> {
         self.clock += 1;
         let k = key(tag);
         let s = self.set_of(tag) * self.ways;
-        for e in &mut self.entries[s..s + self.ways] {
+        for (w, e) in self.entries[s..s + self.ways].iter_mut().enumerate() {
             if e.tag_valid == k {
                 e.stamp = self.clock;
-                return true;
+                return Some(s + w);
             }
         }
-        false
+        None
+    }
+
+    /// Exactly the state transition of a [`TlbArray::lookup`] hit on the
+    /// entry at `idx` — clock tick plus stamp refresh — minus the set scan.
+    #[inline]
+    fn touch(&mut self, idx: usize) {
+        self.clock += 1;
+        self.entries[idx].stamp = self.clock;
     }
 
     fn insert(&mut self, tag: u64) {
@@ -146,6 +161,11 @@ impl TlbStats {
 pub struct Tlb {
     base: TlbArray,
     huge: TlbArray,
+    /// Bumped on every entry movement (insert, invalidate, flush); while it
+    /// is unchanged, a way index returned by [`Tlb::lookup_memo`] still
+    /// addresses the same resident translation. Lookups only refresh
+    /// stamps in place and do not bump it.
+    epoch: u64,
     /// Running statistics.
     pub stats: TlbStats,
 }
@@ -156,8 +176,15 @@ impl Tlb {
         Tlb {
             base: TlbArray::new(spec.base_entries, spec.ways),
             huge: TlbArray::new(spec.huge_entries, spec.ways),
+            epoch: 0,
             stats: TlbStats::default(),
         }
+    }
+
+    /// Current entry-movement generation; see the `epoch` field.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     #[inline]
@@ -184,8 +211,40 @@ impl Tlb {
         hit
     }
 
+    /// [`Tlb::lookup`] that additionally reports the hit way so the caller
+    /// can replay future guaranteed hits on the same mapping with
+    /// [`Tlb::touch_hit`]. State transition and statistics are identical to
+    /// `lookup`.
+    pub fn lookup_memo(&mut self, vpage: VirtPage, size: PageSize) -> Option<usize> {
+        let way = match size {
+            PageSize::Base => self.base.lookup_way(Self::tag(vpage, size)),
+            PageSize::Huge => self.huge.lookup_way(Self::tag(vpage, size)),
+        };
+        if way.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        way
+    }
+
+    /// Replays a guaranteed-hit lookup of a still-resident translation whose
+    /// way was memoized by [`Tlb::lookup_memo`]: the LRU clock, the entry
+    /// stamp, and the hit counter advance exactly as a `lookup` hit would,
+    /// without re-scanning the set. Only valid while [`Tlb::epoch`] is
+    /// unchanged since the memoizing lookup — any insert, invalidate, or
+    /// flush may have moved or evicted the entry.
+    pub fn touch_hit(&mut self, size: PageSize, way: usize) {
+        match size {
+            PageSize::Base => self.base.touch(way),
+            PageSize::Huge => self.huge.touch(way),
+        }
+        self.stats.hits += 1;
+    }
+
     /// Inserts a translation after a walk.
     pub fn insert(&mut self, vpage: VirtPage, size: PageSize) {
+        self.epoch += 1;
         match size {
             PageSize::Base => self.base.insert(Self::tag(vpage, size)),
             PageSize::Huge => self.huge.insert(Self::tag(vpage, size)),
@@ -195,6 +254,7 @@ impl Tlb {
     /// Invalidates the translation covering `vpage` at the given size
     /// (single-page shootdown on remap/migration).
     pub fn invalidate(&mut self, vpage: VirtPage, size: PageSize) {
+        self.epoch += 1;
         self.stats.flushes += 1;
         match size {
             PageSize::Base => self.base.invalidate(Self::tag(vpage, size)),
@@ -204,6 +264,7 @@ impl Tlb {
 
     /// Flushes everything (full shootdown).
     pub fn flush_all(&mut self) {
+        self.epoch += 1;
         self.stats.flushes += 1;
         self.base.flush();
         self.huge.flush();

@@ -105,6 +105,53 @@ impl PebsSampler {
         self.store_period = store_period.max(1);
     }
 
+    /// Qualifying load(-miss) events until the load counter fires, computed
+    /// arithmetically: the event at exactly this offset from now is the one
+    /// [`observe`] would sample. Always ≥ 1; when a period reconfiguration
+    /// shrank the period below the in-progress count, the *next* qualifying
+    /// event fires (mirroring `observe`'s `count + 1 >= period` test).
+    ///
+    /// Together with [`skip`], this turns the per-event counter decrement
+    /// into geometric skip-ahead: a consumer scans a run of events, counts
+    /// qualifying ones until one of the two distances is reached, bulk-skips
+    /// the non-firing prefix in O(1), and feeds only the firing event
+    /// through `observe` (which emits the sample and re-arms the counter
+    /// exactly as the per-event path would).
+    ///
+    /// [`observe`]: PebsSampler::observe
+    /// [`skip`]: PebsSampler::skip
+    #[inline]
+    pub fn load_events_until_sample(&self) -> u64 {
+        self.load_period.saturating_sub(self.load_count).max(1)
+    }
+
+    /// Qualifying store events until the store counter fires; see
+    /// [`load_events_until_sample`].
+    ///
+    /// [`load_events_until_sample`]: PebsSampler::load_events_until_sample
+    #[inline]
+    pub fn store_events_until_sample(&self) -> u64 {
+        self.store_period.saturating_sub(self.store_count).max(1)
+    }
+
+    /// Advances the counters past `loads` qualifying LLC-miss loads and
+    /// `stores` qualifying stores, none of which fire. Equivalent to that
+    /// many [`observe`] calls returning `None`, in O(1).
+    ///
+    /// Callers must keep both advances strictly below the corresponding
+    /// `*_events_until_sample()` distance — skipping across a firing event
+    /// would silently drop its sample (debug-asserted).
+    ///
+    /// [`observe`]: PebsSampler::observe
+    #[inline]
+    pub fn skip(&mut self, loads: u64, stores: u64) {
+        debug_assert!(loads < self.load_events_until_sample() || loads == 0);
+        debug_assert!(stores < self.store_events_until_sample() || stores == 0);
+        self.events += loads + stores;
+        self.load_count += loads;
+        self.store_count += stores;
+    }
+
     /// Observes one executed access; returns a sample when a counter fires.
     ///
     /// Qualifying events are LLC-missing loads and all retired stores,
@@ -347,6 +394,32 @@ mod tests {
     }
 
     #[test]
+    fn skip_ahead_distance_points_at_the_firing_event() {
+        let mut s = PebsSampler::new(4, 1000);
+        // After one non-firing miss the next sample is 3 qualifying events
+        // away; skipping 2 of them and observing the 3rd fires.
+        assert!(s.observe(&Access::load(0), &outcome(true)).is_none());
+        assert_eq!(s.load_events_until_sample(), 3);
+        s.skip(2, 0);
+        assert!(s.observe(&Access::load(64), &outcome(true)).is_some());
+        assert_eq!(s.load_events_until_sample(), 4);
+        assert_eq!(s.events, 4);
+        assert_eq!(s.samples, 1);
+    }
+
+    #[test]
+    fn skip_ahead_handles_period_shrink_below_count() {
+        let mut s = PebsSampler::new(100, 1000);
+        for i in 0..50u64 {
+            let _ = s.observe(&Access::load(i * 64), &outcome(true));
+        }
+        // Period now below the in-progress count: the next event fires.
+        s.set_periods(10, 1000);
+        assert_eq!(s.load_events_until_sample(), 1);
+        assert!(s.observe(&Access::load(0), &outcome(true)).is_some());
+    }
+
+    #[test]
     fn controller_respects_bounds() {
         let mut s = PebsSampler::new(2, 2);
         let mut c = PeriodController {
@@ -362,5 +435,125 @@ mod tests {
             c.update(0.0, &mut s);
         }
         assert!(s.load_period() >= 2);
+    }
+}
+
+#[cfg(test)]
+mod skip_ahead_proptests {
+    use super::*;
+    use memtis_sim::prelude::*;
+    use proptest::prelude::*;
+
+    /// One synthetic event: a store, or a load with the given LLC outcome.
+    #[derive(Debug, Clone, Copy)]
+    struct Ev {
+        store: bool,
+        llc_miss: bool,
+    }
+
+    fn outcome(llc_miss: bool) -> AccessOutcome {
+        AccessOutcome {
+            latency_ns: 100.0,
+            vpage: VirtPage(0),
+            page_size: PageSize::Base,
+            tier: TierId::FAST,
+            llc_miss,
+            tlb_miss: false,
+            hint_fault: false,
+            demand_fault: false,
+        }
+    }
+
+    fn access(i: usize, store: bool) -> Access {
+        if store {
+            Access::store(i as u64 * 64)
+        } else {
+            Access::load(i as u64 * 64)
+        }
+    }
+
+    /// Mid-stream reconfiguration mirroring the period controller: every
+    /// 5th sample, nudge both periods.
+    fn maybe_reconfigure(fired: u64, s: &mut PebsSampler) {
+        if fired > 0 && fired.is_multiple_of(5) {
+            let lp = (s.load_period() * 3 / 4).max(1);
+            let sp = (s.store_period() / 2).max(1);
+            s.set_periods(lp, sp);
+        }
+    }
+
+    proptest! {
+        /// The skip-ahead consumer (distance scan + bulk `skip` + `observe`
+        /// only on firing events) emits the bit-identical sample sequence
+        /// and final counter state as the per-event decrement loop, across
+        /// period reconfigurations.
+        #[test]
+        fn skip_ahead_matches_per_event_observe(
+            evs in proptest::collection::vec(
+                (proptest::bool::ANY, proptest::bool::ANY).prop_map(|(store, llc_miss)| Ev { store, llc_miss }),
+                0..600,
+            ),
+            load_period in 1u64..40,
+            store_period in 1u64..400,
+        ) {
+            // Reference: one observe() per event.
+            let mut refr = PebsSampler::new(load_period, store_period);
+            let mut ref_fired: Vec<usize> = Vec::new();
+            for (i, e) in evs.iter().enumerate() {
+                if refr
+                    .observe(&access(i, e.store), &outcome(e.llc_miss))
+                    .is_some()
+                {
+                    ref_fired.push(i);
+                    maybe_reconfigure(refr.samples, &mut refr);
+                }
+            }
+
+            // Skip-ahead consumer over the same stream.
+            let mut fast = PebsSampler::new(load_period, store_period);
+            let mut fast_fired: Vec<usize> = Vec::new();
+            let mut i = 0;
+            while i < evs.len() {
+                let until_load = fast.load_events_until_sample();
+                let until_store = fast.store_events_until_sample();
+                let mut loads = 0u64;
+                let mut stores = 0u64;
+                let mut fire: Option<usize> = None;
+                for (j, e) in evs[i..].iter().enumerate() {
+                    if e.store {
+                        stores += 1;
+                        if stores == until_store {
+                            fire = Some(i + j);
+                            break;
+                        }
+                    } else if e.llc_miss {
+                        loads += 1;
+                        if loads == until_load {
+                            fire = Some(i + j);
+                            break;
+                        }
+                    }
+                }
+                match fire {
+                    Some(k) => {
+                        let e = evs[k];
+                        let (fl, fs) = if e.store { (0, 1) } else { (1, 0) };
+                        fast.skip(loads - fl, stores - fs);
+                        let got = fast.observe(&access(k, e.store), &outcome(e.llc_miss));
+                        prop_assert!(got.is_some(), "scanned firing event must sample");
+                        fast_fired.push(k);
+                        maybe_reconfigure(fast.samples, &mut fast);
+                        i = k + 1;
+                    }
+                    None => {
+                        fast.skip(loads, stores);
+                        break;
+                    }
+                }
+            }
+
+            prop_assert_eq!(ref_fired, fast_fired);
+            prop_assert_eq!(refr.snapshot(), fast.snapshot());
+        }
     }
 }

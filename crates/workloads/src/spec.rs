@@ -423,6 +423,38 @@ impl AccessStream for SpecStream {
         }
     }
 
+    /// Bulk generation: while mid-phase with no pending structural events,
+    /// emit a tight run of accesses without the per-event state-machine
+    /// checks; phase transitions and pending alloc/free events fall back to
+    /// [`next_event`]. Produces exactly the per-event sequence.
+    ///
+    /// [`next_event`]: AccessStream::next_event
+    fn fill(&mut self, buf: &mut [WorkloadEvent]) -> usize {
+        let mut n = 0;
+        while n < buf.len() {
+            if self.pending.is_empty() && self.phase_ready && self.phase < self.spec.phases.len() {
+                let left = self.spec.phases[self.phase].accesses - self.emitted;
+                let take = ((buf.len() - n) as u64).min(left) as usize;
+                for slot in &mut buf[n..n + take] {
+                    *slot = WorkloadEvent::Access(self.gen_access());
+                }
+                self.emitted += take as u64;
+                n += take;
+                if n == buf.len() {
+                    break;
+                }
+            }
+            match self.next_event() {
+                Some(ev) => {
+                    buf[n] = ev;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     fn name(&self) -> &str {
         &self.spec.name
     }
@@ -479,6 +511,29 @@ mod tests {
                     ],
                 },
             ],
+        }
+    }
+
+    #[test]
+    fn fill_matches_next_event_sequence() {
+        // Odd chunk sizes land mid-phase, on phase boundaries, and on the
+        // stream end; the bulk path must reproduce the per-event sequence
+        // exactly (same RNG consumption order).
+        for chunk in [1usize, 3, 64, 1024, 4096] {
+            let mut single = SpecStream::new(tiny_spec(), 7);
+            let mut bulk = SpecStream::new(tiny_spec(), 7);
+            let mut buf = vec![WorkloadEvent::Access(Access::load(0)); chunk];
+            loop {
+                let n = bulk.fill(&mut buf);
+                if n == 0 {
+                    assert!(single.next_event().is_none(), "chunk {chunk} too short");
+                    break;
+                }
+                for ev in &buf[..n] {
+                    let expect = single.next_event().expect("chunk overran");
+                    assert_eq!(format!("{ev:?}"), format!("{expect:?}"));
+                }
+            }
         }
     }
 

@@ -85,15 +85,13 @@ impl TraceReplay {
             name: name.into(),
         }
     }
-}
 
-impl AccessStream for TraceReplay {
-    fn next_event(&mut self) -> Option<WorkloadEvent> {
-        if !self.data.has_remaining() {
-            return None;
-        }
+    /// Decodes the event at the cursor; the caller has checked that bytes
+    /// remain.
+    #[inline]
+    fn decode_one(&mut self) -> WorkloadEvent {
         let tag = self.data.get_u8();
-        Some(match tag {
+        match tag {
             TAG_LOAD | TAG_STORE => {
                 let addr = self.data.get_u64_le();
                 WorkloadEvent::Access(Access {
@@ -115,7 +113,67 @@ impl AccessStream for TraceReplay {
                 bytes: self.data.get_u64_le(),
             },
             other => panic!("corrupt trace: unknown tag {other}"),
-        })
+        }
+    }
+}
+
+impl AccessStream for TraceReplay {
+    fn next_event(&mut self) -> Option<WorkloadEvent> {
+        if !self.data.has_remaining() {
+            return None;
+        }
+        Some(self.decode_one())
+    }
+
+    /// Bulk decode straight off the contiguous backing slice: a local cursor
+    /// and fixed-width `from_le_bytes` reads replace the per-field `Buf`
+    /// cursor bookkeeping of [`TraceReplay::decode_one`], with one `advance`
+    /// for the whole chunk.
+    fn fill(&mut self, buf: &mut [WorkloadEvent]) -> usize {
+        #[inline]
+        fn rd(src: &[u8], at: usize) -> u64 {
+            u64::from_le_bytes(src[at..at + 8].try_into().expect("trace truncated"))
+        }
+        let src = self.data.chunk();
+        let mut pos = 0;
+        let mut n = 0;
+        while n < buf.len() && pos < src.len() {
+            let tag = src[pos];
+            let (ev, len) = match tag {
+                TAG_LOAD | TAG_STORE => (
+                    WorkloadEvent::Access(Access {
+                        vaddr: VirtAddr(rd(src, pos + 1)),
+                        kind: if tag == TAG_STORE {
+                            AccessKind::Store
+                        } else {
+                            AccessKind::Load
+                        },
+                    }),
+                    9,
+                ),
+                TAG_ALLOC | TAG_ALLOC_NOTHP => (
+                    WorkloadEvent::Alloc {
+                        addr: VirtAddr(rd(src, pos + 1)),
+                        bytes: rd(src, pos + 9),
+                        thp: tag == TAG_ALLOC,
+                    },
+                    17,
+                ),
+                TAG_FREE => (
+                    WorkloadEvent::Free {
+                        addr: VirtAddr(rd(src, pos + 1)),
+                        bytes: rd(src, pos + 9),
+                    },
+                    17,
+                ),
+                other => panic!("corrupt trace: unknown tag {other}"),
+            };
+            buf[n] = ev;
+            n += 1;
+            pos += len;
+        }
+        self.data.advance(pos);
+        n
     }
 
     fn name(&self) -> &str {
@@ -148,6 +206,28 @@ mod tests {
         let trace = rec.finish();
         let replayed = collect(&mut TraceReplay::new(trace, "Silo"));
         assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn replay_fill_matches_next_event() {
+        let spec = Benchmark::Silo.spec(Scale::TEST, 500);
+        let mut rec = TraceRecorder::new(SpecStream::new(spec, 3));
+        while rec.next_event().is_some() {}
+        let trace = rec.finish();
+        let mut single = TraceReplay::new(trace.clone(), "Silo");
+        let mut bulk = TraceReplay::new(trace, "Silo");
+        let mut buf = vec![WorkloadEvent::Access(Access::load(0)); 129];
+        loop {
+            let n = bulk.fill(&mut buf);
+            if n == 0 {
+                assert!(single.next_event().is_none());
+                break;
+            }
+            for ev in &buf[..n] {
+                let expect = single.next_event().unwrap();
+                assert_eq!(format!("{ev:?}"), format!("{expect:?}"));
+            }
+        }
     }
 
     #[test]

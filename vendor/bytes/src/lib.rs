@@ -112,6 +112,13 @@ impl Bytes {
     pub fn chunk(&self) -> &[u8] {
         &self.data[self.pos..]
     }
+
+    /// Advances the read cursor by `n` bytes: the bulk counterpart of the
+    /// `get_*` reads for callers that decode straight off [`Bytes::chunk`].
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end of buffer");
+        self.pos += n;
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
