@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! chaos [--plans N] [--accesses N] [--seed MASTER] [--systems memtis,tpp,...]
+//!       [--shards S]
 //! ```
 //!
 //! Derives `N` randomized [`FaultPlan`]s from a master seed and runs each
@@ -73,7 +74,13 @@ struct SoakOutcome {
     violations: Vec<String>,
 }
 
-fn soak_one(system: System, bench: Benchmark, plan: FaultPlan, accesses: u64) -> SoakOutcome {
+fn soak_one(
+    system: System,
+    bench: Benchmark,
+    plan: FaultPlan,
+    accesses: u64,
+    shards: Option<usize>,
+) -> SoakOutcome {
     let ratio = Ratio {
         fast: 1,
         capacity: 8,
@@ -87,6 +94,7 @@ fn soak_one(system: System, bench: Benchmark, plan: FaultPlan, accesses: u64) ->
         timeline_interval_ns: 200_000.0,
         window_events: 25_000,
         faults: Some(plan),
+        shards,
         ..Default::default()
     };
     let mut wl = SpecStream::new(bench.spec(Scale::TEST, accesses), WORKLOAD_SEED);
@@ -143,6 +151,7 @@ fn main() {
     let mut accesses: u64 = 60_000;
     let mut master_seed: u64 = 0xC4A0_5000;
     let mut systems = vec![System::Memtis];
+    let mut shards: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -167,6 +176,10 @@ fn main() {
                     .unwrap_or(master_seed);
                 i += 2;
             }
+            "--shards" => {
+                shards = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
             "--systems" => {
                 systems = args
                     .get(i + 1)
@@ -189,7 +202,7 @@ fn main() {
                 eprintln!("error: unknown flag {other:?}");
                 eprintln!(
                     "usage: chaos [--plans N] [--accesses N] [--seed MASTER] \
-                     [--systems memtis,tpp,...]"
+                     [--systems memtis,tpp,...] [--shards S]"
                 );
                 std::process::exit(2);
             }
@@ -210,7 +223,7 @@ fn main() {
         let plan = random_plan(&mut rng);
         let bench = benches[p % benches.len()];
         for &system in &systems {
-            let out = soak_one(system, bench, plan, accesses);
+            let out = soak_one(system, bench, plan, accesses, shards);
             totals.merge(&out.faults);
             for v in &out.violations {
                 failures += 1;
@@ -219,7 +232,7 @@ fn main() {
             }
             // Every 10th plan doubles as a determinism check.
             if p % 10 == 0 && out.violations.is_empty() {
-                let again = soak_one(system, bench, plan, accesses);
+                let again = soak_one(system, bench, plan, accesses, shards);
                 if again.signature != out.signature {
                     failures += 1;
                     eprintln!(

@@ -4,7 +4,7 @@
 //! memtis run  <benchmark> [--ratio 1:8] [--policy memtis] [--cxl] [--accesses N]
 //!             [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
 //!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--faults SPEC]
-//!             [--chunk N]
+//!             [--chunk N] [--shards S]
 //! memtis compare <benchmark> [--ratio 1:8] [--cxl] [--accesses N]
 //!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--faults SPEC]
 //!             [--chunk N]
@@ -66,6 +66,7 @@ struct Opts {
     migration_queue: Option<usize>,
     faults: Option<memtis_sim::faults::FaultPlan>,
     chunk: Option<usize>,
+    shards: Option<usize>,
 }
 
 impl Opts {
@@ -79,6 +80,7 @@ impl Opts {
         if let Some(c) = self.chunk {
             d.chunk = c;
         }
+        d.shards = self.shards;
         d
     }
 }
@@ -98,6 +100,7 @@ fn parse_opts(args: &[String]) -> Opts {
         migration_queue: None,
         faults: None,
         chunk: None,
+        shards: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -156,6 +159,10 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.chunk = args.get(i + 1).and_then(|s| s.parse().ok());
                 i += 2;
             }
+            "--shards" => {
+                o.shards = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
             "--faults" => {
                 match args
                     .get(i + 1)
@@ -183,7 +190,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  memtis run <benchmark> [--ratio F:C] [--policy NAME] [--cxl] [--accesses N]\n    \
          [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]\n    \
-         [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--chunk N]\n  \
+         [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--chunk N] [--shards S]\n  \
          memtis compare <benchmark> [--ratio F:C] [--cxl] [--accesses N]\n  memtis list"
     );
     std::process::exit(2);
@@ -232,6 +239,7 @@ fn main() {
                     if let Some(c) = o.chunk {
                         driver.chunk = c;
                     }
+                    driver.shards = o.shards;
                     let (r, obs) = run_cell_traced(
                         bench,
                         Scale::DEFAULT,

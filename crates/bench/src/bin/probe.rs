@@ -5,7 +5,7 @@
 //! probe [<benchmark>] [<ratio>] [<system>|all] [--test-scale]
 //!       [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
 //!       [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]
-//!       [--faults SPEC] [--chunk N]
+//!       [--faults SPEC] [--chunk N] [--shards S]
 //! ```
 //!
 //! `--faults` takes a seeded fault plan, e.g.
@@ -78,6 +78,7 @@ fn main() {
     let mut migration_queue: Option<usize> = None;
     let mut faults: Option<memtis_sim::faults::FaultPlan> = None;
     let mut chunk: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -116,6 +117,10 @@ fn main() {
             }
             "--chunk" => {
                 chunk = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--shards" => {
+                shards = args.get(i + 1).and_then(|s| s.parse().ok());
                 i += 2;
             }
             "--faults" => {
@@ -174,6 +179,7 @@ fn main() {
     if let Some(c) = chunk {
         driver.chunk = c;
     }
+    driver.shards = shards;
     let base = run_baseline(bench, scale, CapacityKind::Nvm);
     println!(
         "baseline all-NVM: wall={:.2}ms thpt={:.1}M/s llc_miss={:.3}",
@@ -225,6 +231,7 @@ fn main() {
         if let Some(c) = chunk {
             traced_driver.chunk = c;
         }
+        traced_driver.shards = shards;
         let (report, obs) = run_cell_traced(
             bench,
             scale,

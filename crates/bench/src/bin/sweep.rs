@@ -4,7 +4,7 @@
 //! sweep [--jobs N] [--systems memtis,tpp,...] [--benches roms,btree,...]
 //!       [--ratios 1:8,1:16] [--seeds K] [--accesses N] [--window EVENTS]
 //!       [--cxl] [--test-scale] [--migration-bw BYTES_PER_NS]
-//!       [--migration-queue DEPTH] [--faults SPEC] [--chunk N]
+//!       [--migration-queue DEPTH] [--faults SPEC] [--chunk N] [--shards S]
 //! ```
 //!
 //! Runs the (policy × workload × ratio × seed) matrix across worker
@@ -70,7 +70,7 @@ fn usage() -> ! {
         "usage: sweep [--jobs N] [--systems a,b,..] [--benches x,y,..] \
          [--ratios F:C,..] [--seeds K] [--accesses N] [--window EVENTS] \
          [--cxl] [--test-scale] [--migration-bw BYTES_PER_NS] \
-         [--migration-queue DEPTH] [--faults SPEC] [--chunk N]"
+         [--migration-queue DEPTH] [--faults SPEC] [--chunk N] [--shards S]"
     );
     std::process::exit(2);
 }
@@ -94,6 +94,7 @@ fn main() {
     let mut migration_queue: Option<usize> = None;
     let mut faults: Option<memtis_sim::faults::FaultPlan> = None;
     let mut chunk = DEFAULT_CHUNK;
+    let mut shards: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -154,6 +155,10 @@ fn main() {
                 chunk = value(i + 1).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--shards" => {
+                shards = Some(value(i + 1).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
             "--cxl" => {
                 kind = CapacityKind::Cxl;
                 i += 1;
@@ -170,6 +175,21 @@ fn main() {
     if cells.is_empty() {
         eprintln!("error: empty sweep matrix");
         std::process::exit(2);
+    }
+    // Intra-run sharding multiplies the sweep's thread demand: warn when
+    // jobs x shards oversubscribes the host (results are unchanged, only
+    // slower than a better-matched combination).
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let total_threads = jobs.max(1) * shards.unwrap_or(1).max(1);
+    if total_threads > host_cores {
+        eprintln!(
+            "warning: --jobs {} x --shards {} = {} threads oversubscribes {} host core(s); \
+             consider lowering one of them",
+            jobs.max(1),
+            shards.unwrap_or(1).max(1),
+            total_threads,
+            host_cores
+        );
     }
     println!(
         "sweep: {} cells ({} systems x {} benches x {} ratios x {} seeds), {} jobs, {} accesses/cell",
@@ -190,6 +210,7 @@ fn main() {
         migration_queue,
         faults,
         chunk,
+        shards,
     };
     let result = run_sweep(&cells, &cfg);
     emit_sweep("sweep", &result);

@@ -130,6 +130,7 @@ pub fn driver_config_with_window(window_events: u64) -> DriverConfig {
         migration_queue: None,
         faults: None,
         chunk: DEFAULT_CHUNK,
+        shards: None,
     }
 }
 

@@ -277,6 +277,17 @@ pub enum EventKind {
         /// Underflows detected since the previous report.
         count: u64,
     },
+    /// A sharded run cut a telemetry window: cumulative epoch-barrier
+    /// tallies at the cut. Field values are shard-count-invariant (burst
+    /// boundaries and lane spills do not depend on the thread grouping), so
+    /// traces stay byte-identical across `--shards` values.
+    ShardBarrier {
+        /// Parallel bursts merged so far.
+        bursts: u64,
+        /// Accesses that spilled from a stopped lane to the coordinator's
+        /// serial path so far.
+        spills: u64,
+    },
 }
 
 impl EventKind {
@@ -298,6 +309,7 @@ impl EventKind {
             EventKind::MigrationAborted { .. } => "migration_aborted",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::HistUnderflow { .. } => "hist_underflow",
+            EventKind::ShardBarrier { .. } => "shard_barrier",
         }
     }
 }

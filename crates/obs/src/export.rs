@@ -148,6 +148,9 @@ fn push_kind_fields(out: &mut String, kind: &EventKind) {
         EventKind::HistUnderflow { count } => {
             let _ = write!(out, r#","count":{count}"#);
         }
+        EventKind::ShardBarrier { bursts, spills } => {
+            let _ = write!(out, r#","bursts":{bursts},"spills":{spills}"#);
+        }
     }
 }
 
@@ -253,7 +256,7 @@ fn perfetto_tid(kind: &EventKind) -> u32 {
         | EventKind::MigrationAborted { .. }
         | EventKind::FaultInjected { .. } => 2,
         EventKind::Split { .. } | EventKind::Collapse { .. } => 3,
-        EventKind::HistUnderflow { .. } => 1,
+        EventKind::HistUnderflow { .. } | EventKind::ShardBarrier { .. } => 1,
     }
 }
 
@@ -334,7 +337,7 @@ pub fn export_perfetto(obs: &TracingObserver, windows: &[WindowSample]) -> Strin
 }
 
 /// All event-kind labels the JSONL validator accepts.
-const KNOWN_KINDS: [&str; 15] = [
+const KNOWN_KINDS: [&str; 16] = [
     "promotion",
     "demotion",
     "split",
@@ -350,6 +353,7 @@ const KNOWN_KINDS: [&str; 15] = [
     "migration_aborted",
     "fault_injected",
     "hist_underflow",
+    "shard_barrier",
 ];
 
 /// Summary returned by a successful [`validate_jsonl`] pass.

@@ -140,6 +140,7 @@ impl Observer for TracingObserver {
             EventKind::MigrationAborted { .. } => r.inc(CounterId::MigrationsAborted),
             EventKind::FaultInjected { .. } => r.inc(CounterId::FaultsInjected),
             EventKind::HistUnderflow { count } => r.add(CounterId::HistUnderflow, count),
+            EventKind::ShardBarrier { .. } => r.inc(CounterId::ShardBarriers),
         }
         self.ring.push(event);
         self.registry

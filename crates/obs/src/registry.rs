@@ -47,11 +47,13 @@ pub enum CounterId {
     FaultsInjected,
     /// Histogram bin underflows (metadata/histogram desync) detected.
     HistUnderflow,
+    /// Epoch-barrier telemetry events emitted by sharded runs.
+    ShardBarriers,
 }
 
 impl CounterId {
     /// All counters, in registry order.
-    pub const ALL: [CounterId; 17] = [
+    pub const ALL: [CounterId; 18] = [
         CounterId::EventsRecorded,
         CounterId::EventsDropped,
         CounterId::Promotions,
@@ -69,6 +71,7 @@ impl CounterId {
         CounterId::MigrationsAborted,
         CounterId::FaultsInjected,
         CounterId::HistUnderflow,
+        CounterId::ShardBarriers,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -91,6 +94,7 @@ impl CounterId {
             CounterId::MigrationsAborted => "migrations_aborted",
             CounterId::FaultsInjected => "faults_injected",
             CounterId::HistUnderflow => "hist_underflow",
+            CounterId::ShardBarriers => "shard_barriers",
         }
     }
 }

@@ -14,7 +14,7 @@
 //! reproduces the paper's observation that HeMem's sampling thread hurts at
 //! 20 app threads but not at 16 (§6.2.9).
 
-use crate::access::{Access, AccessOutcome, AccessRecord};
+use crate::access::{Access, AccessOutcome, AccessRecord, RecordFilter};
 use crate::addr::{PageSize, TierId, VirtAddr, VirtPage, HUGE_PAGE_SIZE, NR_SUBPAGES};
 use crate::config::MachineConfig;
 use crate::engine::EngineEvent;
@@ -24,6 +24,7 @@ use crate::faults::{
 };
 use crate::machine::{BatchClock, BatchStop, Machine};
 use crate::policy::{abort_failure, CostAccounting, CostSink, PolicyOps, TieringPolicy};
+use crate::shard::{self, lane_of, LaneScratch, NUM_LANES};
 use crate::stats::MachineStats;
 use memtis_obs::{
     Event, EventKind, NopObserver, Observer, ShootdownCause, WindowCollector, WindowCut,
@@ -126,6 +127,13 @@ pub struct DriverConfig {
     /// legacy one-event-at-a-time loop (the bit-exactness oracle). Both
     /// paths produce byte-identical [`RunReport`]s.
     pub chunk: usize,
+    /// Sharded execution: `Some(s)` partitions the address space into
+    /// [`NUM_LANES`] fixed lanes and drives each chunked burst across `s`
+    /// worker threads (lanes are grouped into `s` contiguous shards), with a
+    /// deterministic merge at the end of every burst. Requires `chunk > 1`.
+    /// Reports, traces, and window series are byte-identical for every `s`
+    /// at a fixed `chunk`; `None` keeps the unsharded pipeline.
+    pub shards: Option<usize>,
 }
 
 impl Default for DriverConfig {
@@ -140,6 +148,7 @@ impl Default for DriverConfig {
             migration_queue: None,
             faults: None,
             chunk: DEFAULT_CHUNK,
+            shards: None,
         }
     }
 }
@@ -246,6 +255,69 @@ struct WindowState {
     start_total_hits: u64,
 }
 
+/// Per-run sharded-execution state: the lane scratch pool plus cumulative
+/// barrier tallies. Lives outside `RunReport` so reports stay byte-identical
+/// across shard counts; the host-side scaling numbers surface through
+/// [`Simulation::shard_metrics`].
+struct ShardRun {
+    /// Worker-thread count (lane groups per burst).
+    shards: usize,
+    /// One scratch buffer per lane, reused across bursts.
+    lanes: Vec<LaneScratch>,
+    /// Parallel bursts merged so far.
+    bursts: u64,
+    /// Accesses that spilled from a stopped lane to the serial path.
+    spills: u64,
+    /// Host ns the coordinator spent inside the worker phase, summed over
+    /// bursts (on a saturated host this is the serialized lane work).
+    busy_ns: u64,
+    /// Accesses executed through the lane phase.
+    lane_accesses: u64,
+    /// Sum over bursts of the most-loaded shard's access count: the lane
+    /// phase's critical path in access units, deterministic per shard count.
+    crit_accesses: u64,
+}
+
+/// Host-side scaling metrics of a sharded run (see
+/// [`Simulation::shard_metrics`]). These are *host* timings — like
+/// [`RunReport::host_elapsed_ns`] they vary run to run and are kept out of
+/// the deterministic report.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMetrics {
+    /// Worker-thread count the run was configured with.
+    pub shards: usize,
+    /// Parallel bursts merged.
+    pub bursts: u64,
+    /// Accesses that spilled from a stopped lane to the serial path.
+    pub spills: u64,
+    /// Host ns the coordinator spent inside the parallel worker phase,
+    /// summed over bursts. On a saturated (or single-core) host the scoped
+    /// workers serialize, so this is the total lane work plus spawn
+    /// overhead; per-worker clocks would mostly measure scheduler wait.
+    pub busy_ns: u64,
+    /// Accesses executed through the lane phase (spills excluded).
+    pub lane_accesses: u64,
+    /// Sum over bursts of the most-loaded shard's access count: the lane
+    /// phase's critical path in access units. Deterministic for a given
+    /// shard count — only the host timings above vary run to run.
+    pub crit_accesses: u64,
+}
+
+impl ShardMetrics {
+    /// Projects `host_ns` (a measured wall time for the whole run) onto a
+    /// host with one core per shard: the worker phase shrinks from its
+    /// serialized wall time to its critical-path share, everything else
+    /// (coordinator fold, ticks, policy work) stays serial. Amdahl-style,
+    /// using the observed per-shard access loads as the work model.
+    pub fn projected_ns(&self, host_ns: f64) -> f64 {
+        if self.lane_accesses == 0 {
+            return host_ns;
+        }
+        let crit_frac = self.crit_accesses as f64 / self.lane_accesses as f64;
+        host_ns - self.busy_ns as f64 * (1.0 - crit_frac)
+    }
+}
+
 /// The simulation: one machine, one policy, one workload stream.
 ///
 /// Generic over an [`Observer`]; the default [`NopObserver`] compiles the
@@ -273,6 +345,8 @@ pub struct Simulation<P: TieringPolicy, O: Observer = NopObserver> {
     has_faults: bool,
     /// Policy-reported histogram underflows already surfaced as events.
     hist_underflows_seen: u64,
+    /// Sharded-execution state (`None` on unsharded runs).
+    shard: Option<ShardRun>,
 }
 
 impl<P: TieringPolicy> Simulation<P, NopObserver> {
@@ -306,6 +380,21 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             _ => None,
         };
         let has_faults = drv_faults.is_some();
+        let shard = match cfg.shards {
+            Some(s) if cfg.chunk > 1 => {
+                machine.enable_lanes();
+                Some(ShardRun {
+                    shards: s.max(1),
+                    lanes: (0..NUM_LANES).map(|_| LaneScratch::default()).collect(),
+                    bursts: 0,
+                    spills: 0,
+                    busy_ns: 0,
+                    lane_accesses: 0,
+                    crit_accesses: 0,
+                })
+            }
+            _ => None,
+        };
         let next_tick = cfg.tick_interval_ns;
         let next_snapshot = cfg.timeline_interval_ns;
         let wcol = WindowCollector::new(cfg.window_events);
@@ -334,6 +423,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             drv_faults,
             has_faults,
             hist_underflows_seen: 0,
+            shard,
         }
     }
 
@@ -759,6 +849,20 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
     /// and notifies the observer.
     fn cut_telemetry_window(&mut self) {
         self.note_hist_underflows();
+        // Epoch-barrier telemetry: cumulative burst/spill tallies at the
+        // cut. Both values are shard-count-invariant, so traces stay
+        // byte-identical across `--shards` values.
+        if let Some(sh) = &self.shard {
+            if self.obs.enabled() {
+                self.obs.record(Event::new(
+                    self.wall_ns,
+                    EventKind::ShardBarrier {
+                        bursts: sh.bursts,
+                        spills: sh.spills,
+                    },
+                ));
+            }
+        }
         let mut gauges = Vec::new();
         self.policy.timeline(&mut gauges);
         let mut hist_bins = Vec::new();
@@ -877,6 +981,15 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
                     limit = limit.min(max.saturating_sub(self.accesses).max(1));
                 }
                 debug_assert!(limit >= 1, "burst sizing must always make progress");
+                if self.shard.is_some() {
+                    let (consumed, stop) =
+                        self.run_sharded_burst(&buf[i..i + limit as usize], &mut records, filter)?;
+                    i += consumed;
+                    if stop {
+                        break 'outer;
+                    }
+                    continue;
+                }
                 let mut clock = BatchClock {
                     wall_ns: self.wall_ns,
                     app_access_ns: self.app_access_ns,
@@ -953,6 +1066,147 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             }
         }
         Ok(())
+    }
+
+    /// Executes one sharded burst: the Access-only prefix of `events` runs
+    /// through the lane executors ([`shard::run_burst`], across the
+    /// configured worker threads), then the coordinator merges the results
+    /// deterministically. Returns `(events consumed, stop)`.
+    ///
+    /// Determinism across shard counts rests on the lanes being pure
+    /// functions of the burst-start machine snapshot (see [`crate::shard`]):
+    ///
+    /// 1. **Partition** — accesses are distributed to their lanes in stream
+    ///    order (lane order within a lane equals stream order).
+    /// 2. **Parallel execute** — lanes run against `&PageTable` read-only;
+    ///    reference-bit updates are buffered per lane.
+    /// 3. **Commit** — deferred reference bits are OR-folded into the page
+    ///    table in fixed lane order, then outcomes are folded back *in
+    ///    original stream order* via per-lane cursors: record filtering,
+    ///    stats, and the wall clock all advance exactly as a single-threaded
+    ///    replay would. An access whose lane stopped early (unmapped page or
+    ///    armed hint) spills to the serial [`Simulation::handle_access`]
+    ///    path, after flushing the pending record batch so the policy sees
+    ///    deliveries in stream order.
+    fn run_sharded_burst(
+        &mut self,
+        events: &[WorkloadEvent],
+        records: &mut Vec<AccessRecord>,
+        filter: RecordFilter,
+    ) -> SimResult<(usize, bool)> {
+        let mut sh = self
+            .shard
+            .take()
+            .expect("sharded burst without shard state");
+        let m = events
+            .iter()
+            .position(|ev| !matches!(ev, WorkloadEvent::Access(_)))
+            .unwrap_or(events.len());
+        debug_assert!(m >= 1, "sharded burst must start with an access");
+        for sc in sh.lanes.iter_mut() {
+            sc.reset();
+        }
+        for ev in &events[..m] {
+            let WorkloadEvent::Access(a) = *ev else {
+                unreachable!("non-access event inside the access prefix");
+            };
+            sh.lanes[lane_of(a.vaddr.base_page())].push(a);
+        }
+        let phase_start = std::time::Instant::now();
+        shard::run_burst(&mut self.machine, &mut sh.lanes, sh.shards);
+        let phase_ns = phase_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        shard::apply_deferred_bits(&mut self.machine, &mut sh.lanes);
+        // Per-shard load split (deterministic, matching `run_burst`'s
+        // contiguous lane grouping) for the Amdahl projection in
+        // [`ShardMetrics::projected_ns`].
+        let per = NUM_LANES.div_ceil(sh.shards.max(1));
+        let (mut burst_load, mut burst_crit) = (0u64, 0u64);
+        for group in sh.lanes.chunks(per) {
+            let load: u64 = group.iter().map(|sc| sc.outcome_count() as u64).sum();
+            burst_load += load;
+            burst_crit = burst_crit.max(load);
+        }
+
+        records.clear();
+        let mut cursors = [0usize; NUM_LANES];
+        let threads = self.threads();
+        for ev in &events[..m] {
+            let WorkloadEvent::Access(access) = *ev else {
+                unreachable!("non-access event inside the access prefix");
+            };
+            let lane = lane_of(access.vaddr.base_page());
+            let c = cursors[lane];
+            cursors[lane] += 1;
+            if c < sh.lanes[lane].outcome_count() {
+                let outcome = sh.lanes[lane].outcome(c);
+                if filter.keeps(access.kind, outcome.llc_miss) {
+                    records.push(AccessRecord {
+                        access,
+                        outcome,
+                        now_ns: self.wall_ns,
+                    });
+                }
+                if outcome.llc_miss {
+                    self.machine.stats.count_tier_hit(outcome.tier);
+                }
+                if access.is_store() {
+                    self.machine.stats.stores += 1;
+                } else {
+                    self.machine.stats.loads += 1;
+                }
+                self.app_access_ns += outcome.latency_ns;
+                self.wall_ns += outcome.latency_ns / threads;
+                self.accesses += 1;
+                self.sim_events += 1;
+            } else {
+                // The lane stopped before this access (unmapped page or
+                // armed hint): flush pending policy deliveries so stream
+                // order holds, then replay serially.
+                sh.spills += 1;
+                self.flush_record_batch(records);
+                self.sim_events += 1;
+                self.handle_access(access)?;
+            }
+        }
+        self.flush_record_batch(records);
+        sh.bursts += 1;
+        sh.busy_ns += phase_ns;
+        sh.lane_accesses += burst_load;
+        sh.crit_accesses += burst_crit;
+        self.shard = Some(sh);
+        let stop = self.post_event_checks();
+        Ok((m, stop))
+    }
+
+    /// Delivers the pending record batch to the policy (daemon context) and
+    /// clears it. No-op on an empty batch.
+    fn flush_record_batch(&mut self, records: &mut Vec<AccessRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut ops = Self::ops(
+            &mut self.machine,
+            &mut self.acct,
+            &mut self.obs,
+            CostSink::Daemon,
+            self.wall_ns,
+        );
+        self.policy.on_access_batch(&mut ops, records);
+        records.clear();
+    }
+
+    /// Host-side scaling metrics of the sharded pipeline, or `None` on an
+    /// unsharded run. Host timings, not simulated time: use these to gauge
+    /// parallel speedup without perturbing the deterministic report.
+    pub fn shard_metrics(&self) -> Option<ShardMetrics> {
+        self.shard.as_ref().map(|sh| ShardMetrics {
+            shards: sh.shards,
+            bursts: sh.bursts,
+            spills: sh.spills,
+            busy_ns: sh.busy_ns,
+            lane_accesses: sh.lane_accesses,
+            crit_accesses: sh.crit_accesses,
+        })
     }
 
     /// Runs the workload to completion (or `max_accesses`) and reports.
@@ -1376,6 +1630,62 @@ mod tests {
             };
             assert_eq!(run(1), run(DEFAULT_CHUNK), "bw {bw:?} diverged");
         }
+    }
+
+    #[test]
+    fn sharded_run_is_shard_count_invariant() {
+        // `--shards N` must reproduce `--shards 1` byte-for-byte at the same
+        // chunk: the lanes are the unit of determinism, shards are only a
+        // thread grouping over them.
+        let run = |chunk: usize, shards: usize| {
+            let mut wl = Script::new(mixed_events(6_000));
+            let mut sim = Simulation::new(
+                cfg(),
+                ArmHints { next: 5 },
+                DriverConfig {
+                    tick_interval_ns: 5_000.0,
+                    timeline_interval_ns: 20_000.0,
+                    window_events: 37,
+                    max_accesses: Some(5_500),
+                    chunk,
+                    shards: Some(shards),
+                    ..Default::default()
+                },
+            );
+            let sig = report_sig(sim.run(&mut wl).unwrap());
+            let metrics = sim.shard_metrics().expect("sharded run has metrics");
+            assert!(metrics.bursts > 0, "sharded path never engaged");
+            sig
+        };
+        for chunk in [7, 64, DEFAULT_CHUNK] {
+            let serial = run(chunk, 1);
+            for shards in [2, 3, 8] {
+                assert_eq!(
+                    serial,
+                    run(chunk, shards),
+                    "chunk {chunk} shards {shards} diverged from shards 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded_when_serial_semantics_apply() {
+        // With chunk 1 the shards knob is ignored outright (per-event loop).
+        let run = |shards: Option<usize>| {
+            let mut wl = Script::new(mixed_events(3_000));
+            let mut sim = Simulation::new(
+                cfg(),
+                NoopPolicy,
+                DriverConfig {
+                    chunk: 1,
+                    shards,
+                    ..Default::default()
+                },
+            );
+            report_sig(sim.run(&mut wl).unwrap())
+        };
+        assert_eq!(run(None), run(Some(4)));
     }
 
     #[test]

@@ -126,16 +126,49 @@ impl CoalesceCache {
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Machine {
-    cfg: MachineConfig,
-    tiers: Vec<TierAllocator>,
-    pt: PageTable,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) tiers: Vec<TierAllocator>,
+    pub(crate) pt: PageTable,
     tlb: Tlb,
     llc: Llc,
+    /// Per-lane TLB/LLC slices; `Some` iff sharded lane routing is enabled
+    /// (see [`Machine::enable_lanes`]). While enabled, every access routes
+    /// its TLB and LLC traffic through the lane owning its 2 MiB region and
+    /// the monolithic `tlb`/`llc` above sit idle.
+    pub(crate) lanes: Option<Vec<crate::shard::LaneState>>,
     engine: MigrationEngine,
     /// Installed fault injector (chaos runs only; `None` on normal runs).
     faults: Option<FaultInjector>,
     /// Running counters.
     pub stats: MachineStats,
+}
+
+/// Routes to the TLB owning `vpage`: the lane slice when lanes are enabled,
+/// the monolithic TLB otherwise. A free function over disjoint `Machine`
+/// fields so callers can keep `cfg`/`stats`/`tiers` borrowed alongside.
+#[inline]
+fn route_tlb<'a>(
+    lanes: &'a mut Option<Vec<crate::shard::LaneState>>,
+    tlb: &'a mut Tlb,
+    vpage: VirtPage,
+) -> &'a mut Tlb {
+    match lanes {
+        Some(ls) => &mut ls[crate::shard::lane_of(vpage)].tlb,
+        None => tlb,
+    }
+}
+
+/// Routes to the LLC owning `vpage` (see [`route_tlb`]).
+#[inline]
+fn route_llc<'a>(
+    lanes: &'a mut Option<Vec<crate::shard::LaneState>>,
+    llc: &'a mut Llc,
+    vpage: VirtPage,
+) -> &'a mut Llc {
+    match lanes {
+        Some(ls) => &mut ls[crate::shard::lane_of(vpage)].llc,
+        None => llc,
+    }
 }
 
 impl Machine {
@@ -157,8 +190,26 @@ impl Machine {
             stats: MachineStats::default(),
             engine: MigrationEngine::new(cfg.migration.queue_depth, cfg.migration.max_recopies),
             faults: None,
+            lanes: None,
             cfg,
         }
+    }
+
+    /// Switches the machine to per-lane TLB/LLC routing: the configured TLB
+    /// entry counts and LLC capacity are divided across
+    /// [`crate::shard::NUM_LANES`] lanes keyed by 2 MiB region, so each
+    /// lane's microarchitectural state depends only on its own access
+    /// subsequence — the property that makes sharded runs independent of
+    /// the shard count. Must be called before any access; idempotent.
+    pub fn enable_lanes(&mut self) {
+        if self.lanes.is_none() {
+            self.lanes = Some(crate::shard::build_lanes(&self.cfg));
+        }
+    }
+
+    /// Whether per-lane routing is enabled.
+    pub fn lanes_enabled(&self) -> bool {
+        self.lanes.is_some()
     }
 
     /// Installs the machine-level faults of `plan` (forced aborts, injected
@@ -263,14 +314,26 @@ impl Machine {
         self.pt.huge_entry(vpage)
     }
 
-    /// TLB statistics.
+    /// TLB statistics (folded across lane slices when lanes are enabled).
     pub fn tlb_stats(&self) -> crate::tlb::TlbStats {
-        self.tlb.stats
+        let mut s = self.tlb.stats;
+        if let Some(lanes) = &self.lanes {
+            for l in lanes {
+                s.absorb(&l.tlb.stats);
+            }
+        }
+        s
     }
 
-    /// LLC statistics.
+    /// LLC statistics (folded across lane slices when lanes are enabled).
     pub fn llc_stats(&self) -> crate::cache::LlcStats {
-        self.llc.stats
+        let mut s = self.llc.stats;
+        if let Some(lanes) = &self.lanes {
+            for l in lanes {
+                s.absorb(&l.llc.stats);
+            }
+        }
+        s
     }
 
     /// Allocates a frame on `tier` and maps `vpage` to it.
@@ -323,7 +386,7 @@ impl Machine {
                 self.tiers[tier.0 as usize].free_huge(h.frame);
             }
         }
-        self.tlb.invalidate(vpage, size);
+        route_tlb(&mut self.lanes, &mut self.tlb, vpage).invalidate(vpage, size);
         self.stats.shootdowns += 1;
         Ok(self.cfg.costs.tlb_shootdown_ns)
     }
@@ -419,16 +482,17 @@ impl Machine {
         }
 
         // Address translation.
-        let tlb_hit = self.tlb.lookup(vpage, size);
+        let tlb = route_tlb(&mut self.lanes, &mut self.tlb, vpage);
+        let tlb_hit = tlb.lookup(vpage, size);
         if !tlb_hit {
             latency += size.walk_levels() as f64 * self.cfg.costs.walk_level_ns;
-            self.tlb.insert(vpage, size);
+            tlb.insert(vpage, size);
         }
 
         // Cache and memory.
         let paddr = crate::addr::PhysAddr(frame.addr().0 + access.vaddr.base_offset());
         let tier = self.tier_of_frame(frame);
-        let llc_hit = self.llc.access(paddr);
+        let llc_hit = route_llc(&mut self.lanes, &mut self.llc, vpage).access(paddr);
         if llc_hit {
             latency += self.cfg.costs.llc_hit_ns;
         } else {
@@ -602,23 +666,24 @@ impl Machine {
                 // insert/invalidate/flush has moved entries since (epoch
                 // check).
                 let mut latency = 0.0;
+                let tlb = route_tlb(&mut self.lanes, &mut self.tlb, vpage);
                 let tlb_hit = match memo.tlb_way {
-                    Some((way, epoch)) if epoch == self.tlb.epoch() => {
-                        self.tlb.touch_hit(size, way);
+                    Some((way, epoch)) if epoch == tlb.epoch() => {
+                        tlb.touch_hit(size, way);
                         true
                     }
                     _ => {
-                        let way = self.tlb.lookup_memo(vpage, size);
-                        memo.tlb_way = way.map(|w| (w, self.tlb.epoch()));
+                        let way = tlb.lookup_memo(vpage, size);
+                        memo.tlb_way = way.map(|w| (w, tlb.epoch()));
                         way.is_some()
                     }
                 };
                 if !tlb_hit {
                     latency += size.walk_levels() as f64 * self.cfg.costs.walk_level_ns;
-                    self.tlb.insert(vpage, size);
+                    tlb.insert(vpage, size);
                 }
                 let paddr = crate::addr::PhysAddr(frame.addr().0 + access.vaddr.base_offset());
-                let llc_hit = self.llc.access(paddr);
+                let llc_hit = route_llc(&mut self.lanes, &mut self.llc, vpage).access(paddr);
                 if llc_hit {
                     latency += self.cfg.costs.llc_hit_ns;
                 } else {
@@ -690,10 +755,11 @@ impl Machine {
         }
 
         // Address translation.
-        let tlb_hit = self.tlb.lookup(vpage, tr.size);
+        let tlb = route_tlb(&mut self.lanes, &mut self.tlb, vpage);
+        let tlb_hit = tlb.lookup(vpage, tr.size);
         if !tlb_hit {
             latency += tr.size.walk_levels() as f64 * self.cfg.costs.walk_level_ns;
-            self.tlb.insert(vpage, tr.size);
+            tlb.insert(vpage, tr.size);
         }
 
         // Reference bits (harvested by page-table-scanning policies).
@@ -723,7 +789,7 @@ impl Machine {
         // Cache and memory.
         let paddr = crate::addr::PhysAddr(tr.frame.addr().0 + access.vaddr.base_offset());
         let tier = self.tier_of_frame(tr.frame);
-        let llc_hit = self.llc.access(paddr);
+        let llc_hit = route_llc(&mut self.lanes, &mut self.llc, vpage).access(paddr);
         if llc_hit {
             latency += self.cfg.costs.llc_hit_ns;
         } else {
@@ -792,7 +858,7 @@ impl Machine {
             None => unreachable!(),
         };
         self.tiers[src.0 as usize].free(old_frame, tr.size);
-        self.tlb.invalidate(vpage, tr.size);
+        route_tlb(&mut self.lanes, &mut self.tlb, vpage).invalidate(vpage, tr.size);
         self.stats.shootdowns += 1;
 
         let bytes = tr.size.bytes();
@@ -826,7 +892,7 @@ impl Machine {
         let old = self.pt.split_huge(vpage)?;
         let tier = self.tier_of_frame(old.frame);
         self.tiers[tier.0 as usize].split_used_huge(old.frame);
-        self.tlb.invalidate(vpage, PageSize::Huge);
+        route_tlb(&mut self.lanes, &mut self.tlb, vpage).invalidate(vpage, PageSize::Huge);
         self.stats.shootdowns += 1;
         self.stats.migration.splits += 1;
 
@@ -881,7 +947,7 @@ impl Machine {
             src = t;
             self.tiers[t.0 as usize].free_base(pte.frame);
         }
-        self.tlb.invalidate(vpage, PageSize::Base);
+        route_tlb(&mut self.lanes, &mut self.tlb, vpage).invalidate(vpage, PageSize::Base);
         self.stats.shootdowns += 1;
         self.stats.migration.collapses += 1;
 
@@ -1165,7 +1231,7 @@ impl Machine {
             None => unreachable!(),
         };
         self.tiers[t.from.0 as usize].free(old_frame, t.size);
-        self.tlb.invalidate(t.vpage, t.size);
+        route_tlb(&mut self.lanes, &mut self.tlb, t.vpage).invalidate(t.vpage, t.size);
         self.stats.shootdowns += 1;
         let pages_4k = t.bytes / BASE_PAGE_SIZE;
         if t.to.0 < t.from.0 {

@@ -1,0 +1,465 @@
+//! Address-space sharding: intra-run parallelism with deterministic merges.
+//!
+//! A single simulation is partitioned into [`NUM_LANES`] fixed *lanes* by
+//! 2 MiB virtual region (`lane = region_index mod 64`), each lane owning a
+//! slice of the TLB and LLC (see [`LaneState`]). `--shards S` groups the
+//! lanes into `S` contiguous chunks and runs each chunk on its own worker
+//! thread during the *lane phase* of a burst; the coordinator then folds
+//! the per-lane results back in original stream order.
+//!
+//! Determinism across shard counts is by construction: a lane's trajectory
+//! is a pure function of (its access subsequence, the page-table snapshot at
+//! burst start), independent of which thread runs it — so `--shards 1` and
+//! `--shards N` produce byte-identical reports, traces, and window series.
+//! The worker phase is read-only with respect to shared state: lanes
+//! translate through `&PageTable` (no walk-cache use), read static tier
+//! frame ranges, and buffer their page-table reference-bit updates as
+//! [`DeferredBits`] which the coordinator ORs in (idempotent, lane order)
+//! before any serial work. Everything effectful — policy delivery,
+//! migrations, faults, allocation, the migration engine — stays
+//! coordinator-owned and runs at burst barriers.
+
+use crate::access::{Access, AccessOutcome};
+use crate::addr::{Frame, PageSize, PhysAddr, TierId, VirtPage};
+use crate::cache::Llc;
+use crate::config::{MachineConfig, TlbSpec};
+use crate::machine::Machine;
+use crate::page_table::{EntryMut, PageTable};
+use crate::tier::TierAllocator;
+use crate::tlb::Tlb;
+
+/// Number of address-space lanes. Fixed (not equal to the shard count) so
+/// the partition — and with it every lane-local TLB/LLC trajectory — is
+/// identical for every `--shards` value; shards are merely thread groupings
+/// of lanes.
+pub const NUM_LANES: usize = 64;
+
+/// `NR_SUBPAGES / 64`: words in a huge page's subpage-written bitmap.
+const SUBPAGE_WORDS: usize = (crate::addr::NR_SUBPAGES as usize) / 64;
+
+/// The lane owning `vpage`: its 2 MiB region index reduced modulo
+/// [`NUM_LANES`], then bit-reversed (6 bits). A huge page maps entirely to
+/// one lane (region == huge page), so a lane never shares a mapping with
+/// another lane. The bit-reversal spreads *contiguous* regions across every
+/// contiguous lane grouping — shards take lanes in contiguous chunks, so a
+/// small-footprint workload touching regions `0..R` still loads all shards
+/// instead of piling into shard 0.
+#[inline]
+pub fn lane_of(vpage: VirtPage) -> usize {
+    (((vpage.0 >> 9) & (NUM_LANES as u64 - 1)).reverse_bits() >> (64 - NUM_LANES.trailing_zeros()))
+        as usize
+}
+
+/// Per-lane slice of the machine's stateful microarchitectural models. When
+/// lanes are enabled the TLB and LLC capacities are divided evenly across
+/// the 64 lanes, so total modeled capacity is preserved while each lane's
+/// state depends only on its own access subsequence.
+#[derive(Debug)]
+pub struct LaneState {
+    /// This lane's TLB slice.
+    pub tlb: Tlb,
+    /// This lane's LLC slice.
+    pub llc: Llc,
+}
+
+/// Builds the 64 lane slices for a machine configuration: per-lane TLB
+/// geometry is `entries / 64` (ways preserved, clamped by the TLB array),
+/// per-lane LLC capacity is `llc_bytes / 64` (min one line).
+pub(crate) fn build_lanes(cfg: &MachineConfig) -> Vec<LaneState> {
+    let lane_spec = TlbSpec {
+        base_entries: (cfg.tlb.base_entries / NUM_LANES).max(1),
+        huge_entries: (cfg.tlb.huge_entries / NUM_LANES).max(1),
+        ways: cfg.tlb.ways,
+    };
+    let lane_llc_bytes = (cfg.llc_bytes / NUM_LANES as u64).max(crate::addr::CACHE_LINE_SIZE);
+    (0..NUM_LANES)
+        .map(|_| LaneState {
+            tlb: Tlb::new(&lane_spec),
+            llc: Llc::new(lane_llc_bytes),
+        })
+        .collect()
+}
+
+/// Page-table reference-bit updates a lane buffered during the read-only
+/// worker phase. All fields are OR-only (idempotent and commutative), so
+/// applying them in fixed lane order at the barrier yields page-table state
+/// independent of shard count.
+#[derive(Debug, Clone)]
+struct DeferredBits {
+    /// The mapping's key page: the base page itself, or the huge-aligned
+    /// page of a huge mapping.
+    key: VirtPage,
+    /// Whether any buffered access was a store (dirty / ever-written bits).
+    wrote: bool,
+    /// For huge mappings: which subpages were stored to.
+    sub_written: [u64; SUBPAGE_WORDS],
+}
+
+/// One resolved mapping memoized by the lane executor, mirroring the
+/// machine's batched-path coalescing memo but lane-local.
+#[derive(Debug, Clone, Copy)]
+struct LaneMemo {
+    /// Base vpage of the mapping (huge-aligned for a huge mapping).
+    key: VirtPage,
+    /// Frame of `key` (first subpage frame for a huge mapping).
+    base_frame: Frame,
+    size: PageSize,
+    tier: TierId,
+    /// Memoized TLB hit way plus the lane-TLB epoch that located it.
+    tlb_way: Option<(usize, u64)>,
+    /// Index of this mapping's [`DeferredBits`] entry in the lane scratch.
+    bits_idx: usize,
+}
+
+/// Ways in the lane-local mapping memo. Within a lane, consecutive regions
+/// differ by multiples of [`NUM_LANES`] in region index, so the slot divides
+/// that stride out first.
+const MEMO_WAYS: usize = 4;
+
+#[inline]
+fn memo_slot(vpage: VirtPage) -> usize {
+    ((vpage.0 as usize >> 9) / NUM_LANES) & (MEMO_WAYS - 1)
+}
+
+/// Per-lane, per-burst working storage: the lane's slice of the burst's
+/// accesses, the outcomes its executor precomputed, and the page-table bit
+/// updates it buffered. Reused across bursts to avoid reallocation.
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    /// This lane's accesses, in stream order.
+    accesses: Vec<Access>,
+    /// Precomputed outcomes for a prefix of `accesses`. Shorter than
+    /// `accesses` iff the lane stopped (hint-armed or unmapped page); the
+    /// remainder spills to the coordinator's serial path during the fold.
+    outcomes: Vec<AccessOutcome>,
+    /// Buffered page-table bit updates, in memoization order.
+    bits: Vec<DeferredBits>,
+    memo: [Option<LaneMemo>; MEMO_WAYS],
+}
+
+impl LaneScratch {
+    /// Queues one access for this lane (Phase A partitioning).
+    #[inline]
+    pub fn push(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+
+    /// Number of precomputed outcomes (the committed prefix).
+    #[inline]
+    pub fn outcome_count(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of accesses queued this burst.
+    #[inline]
+    pub fn access_count(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// The `idx`-th precomputed outcome.
+    #[inline]
+    pub fn outcome(&self, idx: usize) -> AccessOutcome {
+        self.outcomes[idx]
+    }
+
+    /// Resets the scratch for a new burst.
+    pub fn reset(&mut self) {
+        self.accesses.clear();
+        self.outcomes.clear();
+        self.bits.clear();
+        self.memo = [None; MEMO_WAYS];
+    }
+}
+
+/// The tier owning `frame` (free-function form of
+/// [`Machine::tier_of_frame`], usable while the machine is partially
+/// borrowed and from worker threads).
+#[inline]
+fn tier_of(tiers: &[TierAllocator], frame: Frame) -> TierId {
+    for t in tiers {
+        if t.owns(frame) {
+            return t.tier();
+        }
+    }
+    panic!("{frame} belongs to no tier");
+}
+
+/// Executes one lane's access subsequence against the burst-start
+/// page-table snapshot, precomputing outcomes and buffering bit updates.
+/// Stops (leaving the rest of the lane to spill) at the first access whose
+/// page is unmapped or hint-armed — those need coordinator-side effects.
+fn run_lane(
+    pt: &PageTable,
+    tiers: &[TierAllocator],
+    cfg: &MachineConfig,
+    lane: &mut LaneState,
+    sc: &mut LaneScratch,
+) {
+    for k in 0..sc.accesses.len() {
+        let access = sc.accesses[k];
+        let vpage = access.vaddr.base_page();
+        let is_store = access.is_store();
+        let slot = memo_slot(vpage);
+
+        let (frame, size, tier, bits_idx) = match sc.memo[slot] {
+            Some(m)
+                if match m.size {
+                    PageSize::Base => m.key == vpage,
+                    PageSize::Huge => m.key == vpage.huge_aligned(),
+                } =>
+            {
+                let frame = match m.size {
+                    PageSize::Base => m.base_frame,
+                    PageSize::Huge => m.base_frame.add(vpage.subpage_index() as u64),
+                };
+                (frame, m.size, m.tier, m.bits_idx)
+            }
+            _ => {
+                let Some(tr) = pt.translate(vpage) else {
+                    // Unmapped: the access demand-faults; the coordinator
+                    // replays it (and the rest of this lane) serially.
+                    return;
+                };
+                if tr.hint {
+                    // Hint-armed: the fault runs policy hooks; spill.
+                    return;
+                }
+                let tier = tier_of(tiers, tr.frame);
+                let (key, base_frame) = match tr.size {
+                    PageSize::Base => (vpage, tr.frame),
+                    PageSize::Huge => (
+                        vpage.huge_aligned(),
+                        Frame(tr.frame.0 - vpage.subpage_index() as u64),
+                    ),
+                };
+                let bits_idx = sc.bits.len();
+                sc.bits.push(DeferredBits {
+                    key,
+                    wrote: false,
+                    sub_written: [0; SUBPAGE_WORDS],
+                });
+                sc.memo[slot] = Some(LaneMemo {
+                    key,
+                    base_frame,
+                    size: tr.size,
+                    tier,
+                    tlb_way: None,
+                    bits_idx,
+                });
+                (tr.frame, tr.size, tier, bits_idx)
+            }
+        };
+
+        if is_store {
+            let b = &mut sc.bits[bits_idx];
+            b.wrote = true;
+            if size == PageSize::Huge {
+                let idx = vpage.subpage_index();
+                b.sub_written[idx / 64] |= 1 << (idx % 64);
+            }
+        }
+
+        // Address translation against the lane TLB slice, with the same
+        // epoch-checked way replay the machine's coalesced path uses.
+        let mut latency = 0.0;
+        let memo = sc.memo[slot].as_mut().expect("memo just ensured");
+        let tlb_hit = match memo.tlb_way {
+            Some((way, epoch)) if epoch == lane.tlb.epoch() => {
+                lane.tlb.touch_hit(size, way);
+                true
+            }
+            _ => {
+                let way = lane.tlb.lookup_memo(vpage, size);
+                memo.tlb_way = way.map(|w| (w, lane.tlb.epoch()));
+                way.is_some()
+            }
+        };
+        if !tlb_hit {
+            latency += size.walk_levels() as f64 * cfg.costs.walk_level_ns;
+            lane.tlb.insert(vpage, size);
+        }
+
+        // Cache and memory against the lane LLC slice. No migration-link
+        // contention term: the sharded path only engages with the engine
+        // disabled (unlimited bandwidth), where it never fires.
+        let paddr = PhysAddr(frame.addr().0 + access.vaddr.base_offset());
+        let llc_hit = lane.llc.access(paddr);
+        if llc_hit {
+            latency += cfg.costs.llc_hit_ns;
+        } else {
+            let spec = cfg.tier(tier);
+            latency += if is_store {
+                spec.store_ns
+            } else {
+                spec.load_ns
+            };
+        }
+
+        sc.outcomes.push(AccessOutcome {
+            latency_ns: latency,
+            vpage,
+            page_size: size,
+            tier,
+            llc_miss: !llc_hit,
+            tlb_miss: !tlb_hit,
+            hint_fault: false,
+            demand_fault: false,
+        });
+    }
+}
+
+/// Runs the worker phase of one burst: the lanes, grouped into `shards`
+/// contiguous chunks, execute concurrently against the frozen page table.
+/// Shard 0 runs inline on the coordinator thread; shards 1..S run on scoped
+/// worker threads. Host-side timing lives with the coordinator (see
+/// `Simulation::shard_metrics`): per-thread clocks on an oversubscribed
+/// host would mostly measure scheduler wait, not work.
+pub(crate) fn run_burst(machine: &mut Machine, scratch: &mut [LaneScratch], shards: usize) {
+    let pt = &machine.pt;
+    let tiers = &machine.tiers[..];
+    let cfg = &machine.cfg;
+    let lanes = machine
+        .lanes
+        .as_mut()
+        .expect("sharded burst requires enabled lanes");
+    debug_assert_eq!(lanes.len(), NUM_LANES);
+    debug_assert_eq!(scratch.len(), NUM_LANES);
+
+    let run_chunk = |lc: &mut [LaneState], scc: &mut [LaneScratch]| {
+        for (lane, sc) in lc.iter_mut().zip(scc.iter_mut()) {
+            run_lane(pt, tiers, cfg, lane, sc);
+        }
+    };
+
+    if shards <= 1 {
+        run_chunk(&mut lanes[..], scratch);
+        return;
+    }
+
+    let per = NUM_LANES.div_ceil(shards);
+    std::thread::scope(|s| {
+        let run_chunk = &run_chunk;
+        let mut lane_chunks = lanes.chunks_mut(per);
+        let mut sc_chunks = scratch.chunks_mut(per);
+        let first_l = lane_chunks.next();
+        let first_s = sc_chunks.next();
+        let handles: Vec<_> = lane_chunks
+            .zip(sc_chunks)
+            .map(|(lc, scc)| s.spawn(move || run_chunk(lc, scc)))
+            .collect();
+        // The coordinator thread is shard 0.
+        if let (Some(lc), Some(scc)) = (first_l, first_s) {
+            run_chunk(lc, scc);
+        }
+        for h in handles {
+            h.join().expect("shard worker panicked");
+        }
+    });
+}
+
+/// Applies every lane's buffered page-table bit updates, in lane order then
+/// buffer order. Must run after the worker phase and before any serial
+/// spill work, so spilled accesses observe the same reference bits the
+/// per-event path would have left. OR-only, hence shard-count-invariant.
+pub(crate) fn apply_deferred_bits(machine: &mut Machine, scratch: &mut [LaneScratch]) {
+    for sc in scratch.iter_mut() {
+        for b in sc.bits.drain(..) {
+            match machine
+                .pt
+                .walk_mut(b.key)
+                .expect("deferred mapping vanished mid-burst")
+            {
+                EntryMut::Base(p) => {
+                    p.accessed = true;
+                    if b.wrote {
+                        p.dirty = true;
+                        p.ever_written = true;
+                    }
+                }
+                EntryMut::Huge(h) => {
+                    h.accessed = true;
+                    if b.wrote {
+                        h.dirty = true;
+                        for (w, mask) in b.sub_written.iter().enumerate() {
+                            h.sub_written[w] |= mask;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::HUGE_PAGE_SIZE;
+
+    #[test]
+    fn lane_assignment_is_per_region_and_stable() {
+        // All subpages of one huge page land in one lane.
+        let lane = lane_of(VirtPage(512 * 7));
+        for i in 0..512u64 {
+            assert_eq!(lane_of(VirtPage(512 * 7 + i)), lane);
+        }
+        // The mapping is a bijection over any 64 consecutive regions, and
+        // adjacent regions land in *distant* lanes (bit-reversal), so every
+        // contiguous lane grouping sees a share of a contiguous footprint.
+        let lanes: std::collections::BTreeSet<usize> =
+            (0..64u64).map(|r| lane_of(VirtPage(r * 512))).collect();
+        assert_eq!(lanes.len(), NUM_LANES);
+        assert_eq!(lane_of(VirtPage(0)), 0);
+        assert_eq!(lane_of(VirtPage(512)), 32);
+        assert_eq!(lane_of(VirtPage(2 * 512)), 16);
+        assert_eq!(lane_of(VirtPage(3 * 512)), 48);
+        assert_eq!(lane_of(VirtPage(512 * 64)), 0);
+    }
+
+    #[test]
+    fn lane_executor_matches_per_shard_grouping() {
+        // The same burst through 1 and 4 shard groupings leaves identical
+        // lane state and outcomes (lanes are pure; shards are groupings).
+        let build = || {
+            let mut m = Machine::new(MachineConfig::dram_nvm(
+                4 * HUGE_PAGE_SIZE,
+                16 * HUGE_PAGE_SIZE,
+            ));
+            m.enable_lanes();
+            for r in 0..4u64 {
+                m.alloc_and_map(VirtPage(r * 512), PageSize::Huge, TierId::FAST)
+                    .unwrap();
+            }
+            m
+        };
+        let accesses: Vec<Access> = (0..2000u64)
+            .map(|i| {
+                let addr = (i * 37) % (4 * HUGE_PAGE_SIZE);
+                if i.is_multiple_of(5) {
+                    Access::store(addr)
+                } else {
+                    Access::load(addr)
+                }
+            })
+            .collect();
+        let run = |shards: usize| {
+            let mut m = build();
+            let mut scratch: Vec<LaneScratch> =
+                (0..NUM_LANES).map(|_| LaneScratch::default()).collect();
+            for &a in &accesses {
+                scratch[lane_of(a.vaddr.base_page())].push(a);
+            }
+            run_burst(&mut m, &mut scratch, shards);
+            apply_deferred_bits(&mut m, &mut scratch);
+            let outs: Vec<String> = scratch
+                .iter()
+                .map(|sc| format!("{:?}", sc.outcomes))
+                .collect();
+            (
+                outs,
+                format!("{:?}", m.tlb_stats()),
+                format!("{:?}", m.llc_stats()),
+            )
+        };
+        assert_eq!(run(1), run(4));
+    }
+}
