@@ -468,6 +468,69 @@ fn hotloop(_c: &mut Criterion) {
     metrics.push(("sim_events".to_string(), total_events));
     metrics.push(("host_elapsed_ns".to_string(), total_batched_s * 1e9));
     metrics.push(("events_per_sec".to_string(), total_events / total_batched_s));
+
+    // Flight-recorder overhead curve: the same MEMTIS cell under (a) no
+    // observer, (b) events-only tracing (ring + registry, no profiler or
+    // latency histograms), (c) the full flight recorder (events + phase
+    // spans + latency histograms). Modes are interleaved pairwise per rep
+    // so drifting background load biases all three alike; best rep kept.
+    {
+        use memtis_core::{MemtisConfig, MemtisPolicy};
+        use memtis_workloads::{Benchmark, Scale, SpecStream};
+        const OBS_ACCESSES: u64 = 400_000;
+        const OBS_REPS: usize = 9;
+
+        fn run_obs<O: Observer>(mk: &dyn Fn() -> O, accesses: u64) -> (f64, f64) {
+            let ratio = Ratio {
+                fast: 1,
+                capacity: 8,
+            };
+            let machine = machine_for(Benchmark::Roms, Scale::TEST, ratio, CapacityKind::Nvm);
+            let mut wl = SpecStream::new(Benchmark::Roms.spec(Scale::TEST, accesses), SEED);
+            let mut sim = Simulation::with_observer(
+                machine,
+                MemtisPolicy::new(MemtisConfig::sim_scaled()),
+                driver_config(),
+                mk(),
+            );
+            let start = Instant::now();
+            let report = sim.run(&mut wl).unwrap();
+            (start.elapsed().as_secs_f64(), report.sim_events as f64)
+        }
+
+        // Untimed warmup: fault in both code paths before the first rep.
+        let _ = run_obs(&NopObserver::default, OBS_ACCESSES);
+        let _ = run_obs(&TracingObserver::new, OBS_ACCESSES);
+        let (mut off, mut events_only, mut full) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut obs_events = 0.0;
+        for _ in 0..OBS_REPS {
+            let (t, e) = run_obs(&NopObserver::default, OBS_ACCESSES);
+            off = off.min(t);
+            obs_events = e;
+            let (t, _) = run_obs(&TracingObserver::events_only, OBS_ACCESSES);
+            events_only = events_only.min(t);
+            let (t, _) = run_obs(&TracingObserver::new, OBS_ACCESSES);
+            full = full.min(t);
+        }
+        let events_frac = events_only / off - 1.0;
+        let full_frac = full / off - 1.0;
+        println!(
+            "observer curve, best of {OBS_REPS} reps x {OBS_ACCESSES} accesses: \
+             off {:.1} Mev/s, events-only {:.1} Mev/s ({:+.1}%), \
+             full flight recorder {:.1} Mev/s ({:+.1}%)",
+            obs_events / off / 1e6,
+            obs_events / events_only / 1e6,
+            events_frac * 100.0,
+            obs_events / full / 1e6,
+            full_frac * 100.0,
+        );
+        metrics.push(("obs_off_eps".to_string(), obs_events / off));
+        metrics.push(("obs_events_eps".to_string(), obs_events / events_only));
+        metrics.push(("obs_full_eps".to_string(), obs_events / full));
+        metrics.push(("obs_events_overhead_frac".to_string(), events_frac));
+        metrics.push(("obs_full_overhead_frac".to_string(), full_frac));
+    }
+
     println!(
         "hotloop head-to-head, best of {REPS} reps x {ACCESSES} accesses: {}",
         lines.join(", ")
@@ -476,9 +539,10 @@ fn hotloop(_c: &mut Criterion) {
 }
 
 /// Observer overhead at the driver level: the same MEMTIS cell run under
-/// the default `NopObserver` versus a full `TracingObserver`. `ops()`
-/// statically skips the observer hookup when `enabled()` is false, and
-/// `Machine::access` (the `hotpath_fast_*` targets above) never sees an
+/// the default `NopObserver`, an events-only `TracingObserver`, and the
+/// full flight recorder (events + phase spans + latency histograms).
+/// `ops()` statically skips the observer hookup when `enabled()` is false,
+/// and `Machine::access` (the `hotpath_fast_*` targets above) never sees an
 /// observer at all — so the Nop run is the PR-1 driver plus only the
 /// window-collector cuts, and must stay within noise (≤2%) of it.
 fn observer_overhead(_c: &mut Criterion) {
@@ -511,7 +575,7 @@ fn observer_overhead(_c: &mut Criterion) {
         best
     }
 
-    fn run_traced(ratio: Ratio, accesses: u64) -> f64 {
+    fn run_traced(ratio: Ratio, accesses: u64, mk: &dyn Fn() -> TracingObserver) -> f64 {
         let mut best = f64::INFINITY;
         for _ in 0..REPS {
             let machine = machine_for(Benchmark::Roms, Scale::TEST, ratio, CapacityKind::Nvm);
@@ -520,7 +584,7 @@ fn observer_overhead(_c: &mut Criterion) {
                 machine,
                 MemtisPolicy::new(MemtisConfig::sim_scaled()),
                 driver_config(),
-                TracingObserver::new(),
+                mk(),
             );
             let start = Instant::now();
             black_box(sim.run(&mut wl).unwrap());
@@ -530,12 +594,17 @@ fn observer_overhead(_c: &mut Criterion) {
     }
 
     let nop = run_nop(ratio, ACCESSES);
-    let traced = run_traced(ratio, ACCESSES);
+    let events_only = run_traced(ratio, ACCESSES, &TracingObserver::events_only);
+    let traced = run_traced(ratio, ACCESSES, &TracingObserver::new);
+    let events_overhead = events_only / nop - 1.0;
     let overhead = traced / nop - 1.0;
     println!(
         "observer overhead, best of {REPS} reps x {ACCESSES} accesses: \
-         nop {:.1} Macc/s, traced {:.1} Macc/s ({:+.1}% traced overhead)",
+         nop {:.1} Macc/s, events-only {:.1} Macc/s ({:+.1}%), \
+         full {:.1} Macc/s ({:+.1}% traced overhead)",
         ACCESSES as f64 / nop / 1e6,
+        ACCESSES as f64 / events_only / 1e6,
+        events_overhead * 100.0,
         ACCESSES as f64 / traced / 1e6,
         overhead * 100.0,
     );
@@ -544,6 +613,11 @@ fn observer_overhead(_c: &mut Criterion) {
         &[
             ("accesses".to_string(), ACCESSES as f64),
             ("nop_macc_s".to_string(), ACCESSES as f64 / nop / 1e6),
+            (
+                "events_only_macc_s".to_string(),
+                ACCESSES as f64 / events_only / 1e6,
+            ),
+            ("events_only_overhead_frac".to_string(), events_overhead),
             ("traced_macc_s".to_string(), ACCESSES as f64 / traced / 1e6),
             ("traced_overhead_frac".to_string(), overhead),
         ],

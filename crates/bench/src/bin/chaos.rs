@@ -80,6 +80,7 @@ fn soak_one(
     plan: FaultPlan,
     accesses: u64,
     shards: Option<usize>,
+    heartbeat: Option<u64>,
 ) -> SoakOutcome {
     let ratio = Ratio {
         fast: 1,
@@ -95,6 +96,7 @@ fn soak_one(
         window_events: 25_000,
         faults: Some(plan),
         shards,
+        heartbeat_events: heartbeat,
         ..Default::default()
     };
     let mut wl = SpecStream::new(bench.spec(Scale::TEST, accesses), WORKLOAD_SEED);
@@ -152,6 +154,7 @@ fn main() {
     let mut master_seed: u64 = 0xC4A0_5000;
     let mut systems = vec![System::Memtis];
     let mut shards: Option<usize> = None;
+    let mut heartbeat: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -180,6 +183,10 @@ fn main() {
                 shards = args.get(i + 1).and_then(|s| s.parse().ok());
                 i += 2;
             }
+            "--heartbeat" => {
+                heartbeat = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
             "--systems" => {
                 systems = args
                     .get(i + 1)
@@ -202,7 +209,7 @@ fn main() {
                 eprintln!("error: unknown flag {other:?}");
                 eprintln!(
                     "usage: chaos [--plans N] [--accesses N] [--seed MASTER] \
-                     [--systems memtis,tpp,...] [--shards S]"
+                     [--systems memtis,tpp,...] [--shards S] [--heartbeat EVENTS]"
                 );
                 std::process::exit(2);
             }
@@ -223,7 +230,7 @@ fn main() {
         let plan = random_plan(&mut rng);
         let bench = benches[p % benches.len()];
         for &system in &systems {
-            let out = soak_one(system, bench, plan, accesses, shards);
+            let out = soak_one(system, bench, plan, accesses, shards, heartbeat);
             totals.merge(&out.faults);
             for v in &out.violations {
                 failures += 1;
@@ -232,7 +239,7 @@ fn main() {
             }
             // Every 10th plan doubles as a determinism check.
             if p % 10 == 0 && out.violations.is_empty() {
-                let again = soak_one(system, bench, plan, accesses, shards);
+                let again = soak_one(system, bench, plan, accesses, shards, heartbeat);
                 if again.signature != out.signature {
                     failures += 1;
                     eprintln!(

@@ -8,11 +8,14 @@
 //! memtis compare <benchmark> [--ratio 1:8] [--cxl] [--accesses N]
 //!             [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--faults SPEC]
 //!             [--chunk N]
+//! memtis diff <old.json> <new.json> [--tol FRAC] [--tol KEY=FRAC] [--ignore GLOB]
 //! memtis list
 //! ```
 //!
 //! `run` executes one cell and prints the detailed report; `compare` runs
-//! every system on one benchmark; `list` shows benchmarks and policies.
+//! every system on one benchmark; `diff` compares two run-report (or
+//! `BENCH_*.json`) documents with relative-tolerance bands and exits
+//! nonzero on regression; `list` shows benchmarks and policies.
 
 use memtis_bench::{
     access_budget, driver_config, driver_config_with_window, machine_for, normalized, run_baseline,
@@ -67,6 +70,7 @@ struct Opts {
     faults: Option<memtis_sim::faults::FaultPlan>,
     chunk: Option<usize>,
     shards: Option<usize>,
+    heartbeat: Option<u64>,
 }
 
 impl Opts {
@@ -81,6 +85,7 @@ impl Opts {
             d.chunk = c;
         }
         d.shards = self.shards;
+        d.heartbeat_events = self.heartbeat;
         d
     }
 }
@@ -101,6 +106,7 @@ fn parse_opts(args: &[String]) -> Opts {
         faults: None,
         chunk: None,
         shards: None,
+        heartbeat: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -163,6 +169,10 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.shards = args.get(i + 1).and_then(|s| s.parse().ok());
                 i += 2;
             }
+            "--heartbeat" => {
+                o.heartbeat = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
             "--faults" => {
                 match args
                     .get(i + 1)
@@ -191,9 +201,40 @@ fn usage() -> ! {
         "usage:\n  memtis run <benchmark> [--ratio F:C] [--policy NAME] [--cxl] [--accesses N]\n    \
          [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]\n    \
          [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH] [--chunk N] [--shards S]\n  \
-         memtis compare <benchmark> [--ratio F:C] [--cxl] [--accesses N]\n  memtis list"
+         memtis compare <benchmark> [--ratio F:C] [--cxl] [--accesses N]\n  \
+         memtis diff <old.json> <new.json> [--tol FRAC] [--tol KEY=FRAC] [--ignore GLOB]\n  \
+         memtis list"
     );
     std::process::exit(2);
+}
+
+fn run_diff(args: &[String]) -> ! {
+    use memtis_bench::{diff_reports, parse_diff_args, render_diff};
+    use memtis_sim::obs::json::Json;
+    let (old_path, new_path, opts) = match parse_diff_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let load = |path: &str| -> Json {
+        let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        Json::parse(&body).unwrap_or_else(|e| {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let d = diff_reports(&load(&old_path), &load(&new_path), &opts);
+    print!("{}", render_diff(&d));
+    if d.has_breach() {
+        eprintln!("diff: regression detected ({old_path} -> {new_path})");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 fn main() {
@@ -240,6 +281,7 @@ fn main() {
                         driver.chunk = c;
                     }
                     driver.shards = o.shards;
+                    driver.heartbeat_events = o.heartbeat;
                     let (r, obs) = run_cell_traced(
                         bench,
                         Scale::DEFAULT,
@@ -324,6 +366,7 @@ fn main() {
                 );
             }
         }
+        Some("diff") => run_diff(&args[1..]),
         Some("compare") => {
             let Some(bench) = args.get(1).and_then(|s| find_benchmark(s)) else {
                 usage()

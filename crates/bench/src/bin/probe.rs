@@ -4,6 +4,7 @@
 //! ```text
 //! probe [<benchmark>] [<ratio>] [<system>|all] [--test-scale]
 //!       [--trace-out PATH] [--trace-format jsonl|perfetto] [--window EVENTS]
+//!       [--report-out PATH] [--heartbeat EVENTS]
 //!       [--migration-bw BYTES_PER_NS] [--migration-queue DEPTH]
 //!       [--faults SPEC] [--chunk N] [--shards S]
 //! ```
@@ -12,8 +13,12 @@
 //! `seed=7,abort=0.02,dirty=0.05,drop=0.05,outage=400000:50000`
 //! (see `memtis_sim::faults::FaultPlan::parse`).
 //!
-//! With `--trace-out`, the first selected system's run is re-executed under
-//! a tracing observer and the event/window trace is written to PATH.
+//! With `--trace-out` and/or `--report-out`, the first selected system's
+//! run is re-executed under a tracing observer; `--trace-out` writes the
+//! event/window trace, `--report-out` a `memtis-report-v1` JSON document
+//! (throughput, fault counters, flight-recorder percentiles, phase
+//! self-profile) for `memtis diff`. `--heartbeat N` emits a one-line JSON
+//! status to stderr every N workload events.
 
 use memtis_bench::{
     access_budget, driver_config_with_window, machine_for, run_baseline, run_cell_traced,
@@ -79,11 +84,21 @@ fn main() {
     let mut faults: Option<memtis_sim::faults::FaultPlan> = None;
     let mut chunk: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut report_out: Option<String> = None;
+    let mut heartbeat: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--trace-out" => {
                 trace_out = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--report-out" => {
+                report_out = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--heartbeat" => {
+                heartbeat = args.get(i + 1).and_then(|s| s.parse().ok());
                 i += 2;
             }
             "--trace-format" => {
@@ -180,6 +195,7 @@ fn main() {
         driver.chunk = c;
     }
     driver.shards = shards;
+    driver.heartbeat_events = heartbeat;
     let base = run_baseline(bench, scale, CapacityKind::Nvm);
     println!(
         "baseline all-NVM: wall={:.2}ms thpt={:.1}M/s llc_miss={:.3}",
@@ -221,7 +237,7 @@ fn main() {
         }
     }
 
-    if let Some(path) = trace_out {
+    if trace_out.is_some() || report_out.is_some() {
         let sys = systems.first().copied().unwrap_or(System::Memtis);
         let machine = machine_for(bench, scale, ratio, CapacityKind::Nvm);
         let mut traced_driver = driver_config_with_window(window);
@@ -232,6 +248,7 @@ fn main() {
             traced_driver.chunk = c;
         }
         traced_driver.shards = shards;
+        traced_driver.heartbeat_events = heartbeat;
         let (report, obs) = run_cell_traced(
             bench,
             scale,
@@ -241,6 +258,16 @@ fn main() {
             access_budget(),
             SEED,
         );
-        write_trace(&path, trace_format, &obs, &report.windows);
+        if let Some(path) = trace_out {
+            write_trace(&path, trace_format, &obs, &report.windows);
+        }
+        if let Some(path) = report_out {
+            let profile = obs.profiler.as_ref().map(|p| p.stats());
+            let body = memtis_bench::report_to_json(&report, profile.as_deref());
+            match std::fs::write(&path, body) {
+                Ok(()) => println!("[report written to {path}]"),
+                Err(e) => eprintln!("warning: could not write report {path}: {e}"),
+            }
+        }
     }
 }

@@ -131,6 +131,7 @@ pub fn driver_config_with_window(window_events: u64) -> DriverConfig {
         faults: None,
         chunk: DEFAULT_CHUNK,
         shards: None,
+        heartbeat_events: None,
     }
 }
 

@@ -9,6 +9,7 @@
 pub mod harness;
 pub mod plot;
 pub mod report;
+pub mod rundiff;
 pub mod sweep;
 
 pub use harness::{
@@ -19,6 +20,10 @@ pub use harness::{
 };
 pub use plot::{bar, sparkline};
 pub use report::{emit, emit_bench_json, experiments_dir, Table};
+pub use rundiff::{
+    diff_reports, flatten, glob_match, parse_diff_args, render_diff, report_to_json, DiffOptions,
+    DiffReport, DiffRow, REPORT_SCHEMA,
+};
 pub use sweep::{
     emit_sweep, matrix, run_sweep, windows_table, SweepCell, SweepConfig, SweepResult,
 };

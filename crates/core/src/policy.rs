@@ -224,6 +224,7 @@ impl MemtisPolicy {
     }
 
     fn run_adaptation(&mut self, ops: &mut PolicyOps<'_>, cause: ThresholdCause) {
+        let _span = ops.span(memtis_sim::obs::SpanId::ThresholdRecompute);
         let fast = ops.capacity_bytes(TierId::FAST);
         self.thr = adapt(&self.page_hist, fast, self.cfg.alpha, self.cfg.warm_set);
         self.base_thr = adapt(&self.base_hist, fast, self.cfg.alpha, true);
@@ -242,6 +243,7 @@ impl MemtisPolicy {
     /// histograms one bin left, correct stragglers, and rebuild the
     /// demotion lists, skewness buckets, and collapse candidates.
     fn run_cooling(&mut self, ops: &mut PolicyOps<'_>) {
+        let _span = ops.span(memtis_sim::obs::SpanId::CoolingTick);
         self.page_hist.cool();
         self.base_hist.cool();
         self.demote_cold.clear();

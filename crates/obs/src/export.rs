@@ -4,9 +4,11 @@
 //! series:
 //!
 //! - **JSONL** — one JSON object per line: a header (schema id, event and
-//!   drop counts, final counter values), then every retained event in
-//!   sequence order, then every closed window. Deterministic: the same
-//!   run produces byte-identical output.
+//!   drop counts, final counter values), an explicit truncation record when
+//!   the ring dropped events, then every retained event in sequence order,
+//!   then every closed window. Deterministic: the same run produces
+//!   byte-identical output. Truncation is also warned about on stderr so a
+//!   lossy trace never passes silently.
 //! - **Chrome/Perfetto `trace_event` JSON** — loadable in `ui.perfetto.dev`
 //!   or `chrome://tracing`. Events become instants on three synthetic
 //!   threads named after MEMTIS's kernel daemons (ksampled, kmigrated,
@@ -223,6 +225,22 @@ pub fn export_jsonl(obs: &TracingObserver, windows: &[WindowSample]) -> String {
         let _ = write!(out, r#""{}":{}"#, escape(name), fmt_f64(*v));
     }
     out.push_str("}}\n");
+    if obs.ring.dropped() > 0 {
+        eprintln!(
+            "warning: trace truncated — event ring dropped {} of {} events \
+             (first retained seq {}); raise the ring capacity to keep them",
+            obs.ring.dropped(),
+            obs.ring.pushed(),
+            obs.ring.first_seq(),
+        );
+        let _ = write!(
+            out,
+            "{{\"truncated\":true,\"dropped\":{},\"first_seq\":{}}}",
+            obs.ring.dropped(),
+            obs.ring.first_seq(),
+        );
+        out.push('\n');
+    }
     for (seq, ev) in (obs.ring.first_seq()..).zip(obs.ring.iter()) {
         let _ = write!(
             out,
@@ -290,6 +308,23 @@ pub fn export_perfetto(obs: &TracingObserver, windows: &[WindowSample]) -> Strin
         emit(
             format!(
                 r#"{{"ph":"M","pid":1,"tid":{tid},"name":"thread_name","args":{{"name":"{name}"}}}}"#
+            ),
+            &mut out,
+        );
+    }
+    if obs.ring.dropped() > 0 {
+        eprintln!(
+            "warning: trace truncated — event ring dropped {} of {} events \
+             (first retained seq {}); raise the ring capacity to keep them",
+            obs.ring.dropped(),
+            obs.ring.pushed(),
+            obs.ring.first_seq(),
+        );
+        emit(
+            format!(
+                r#"{{"ph":"i","pid":1,"tid":1,"ts":0,"s":"g","name":"trace_truncated","args":{{"dropped":{},"first_seq":{}}}}}"#,
+                obs.ring.dropped(),
+                obs.ring.first_seq(),
             ),
             &mut out,
         );
@@ -367,7 +402,8 @@ pub struct JsonlSummary {
     pub dropped: u64,
 }
 
-/// Validates JSONL trace text: parseable lines, a well-formed header,
+/// Validates JSONL trace text: parseable lines, a well-formed header, an
+/// explicit truncation record exactly when the header declares drops,
 /// contiguous event sequence numbers, known event kinds, and contiguous
 /// window indices. Returns line counts on success.
 pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
@@ -393,15 +429,45 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
         return Err("header retained + dropped != events".to_string());
     }
     h.get("counters")
-        .and_then(|c| c.get("events_recorded"))
-        .ok_or("header missing counters.events_recorded")?;
+        .and_then(|c| c.get("events_recorded_total"))
+        .ok_or("header missing counters.events_recorded_total")?;
     let mut events = 0usize;
     let mut windows = 0usize;
     let mut next_seq = dropped;
     let mut next_window = 0u64;
+    let mut truncation_records = 0usize;
     for (lineno, line) in lines {
         let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        if let Some(seq) = v.get("seq").and_then(Json::as_f64) {
+        if v.get("truncated").is_some() {
+            // The explicit truncation record: only legal (and then
+            // mandatory, exactly once, before any event) when the header
+            // declares drops, and its counts must agree with the header.
+            if dropped == 0 {
+                return Err(format!(
+                    "line {}: truncation record but header declares no drops",
+                    lineno + 1
+                ));
+            }
+            if truncation_records > 0 || events > 0 || windows > 0 {
+                return Err(format!(
+                    "line {}: truncation record must directly follow the header",
+                    lineno + 1
+                ));
+            }
+            truncation_records += 1;
+            if v.get("dropped").and_then(Json::as_f64) != Some(dropped as f64) {
+                return Err(format!(
+                    "line {}: truncation record dropped count disagrees with header",
+                    lineno + 1
+                ));
+            }
+            if v.get("first_seq").and_then(Json::as_f64) != Some(dropped as f64) {
+                return Err(format!(
+                    "line {}: truncation record first_seq must equal dropped",
+                    lineno + 1
+                ));
+            }
+        } else if let Some(seq) = v.get("seq").and_then(Json::as_f64) {
             if seq as u64 != next_seq {
                 return Err(format!(
                     "line {}: seq {} != expected {}",
@@ -445,6 +511,11 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
     if events as u64 != retained {
         return Err(format!(
             "header declares {retained} retained events, found {events}"
+        ));
+    }
+    if dropped > 0 && truncation_records == 0 {
+        return Err(format!(
+            "header declares {dropped} dropped events but no truncation record follows"
         ));
     }
     Ok(JsonlSummary {
@@ -600,10 +671,47 @@ mod tests {
         let s = validate_jsonl(&text).unwrap();
         assert_eq!(s.events, 2);
         assert_eq!(s.dropped, 3);
+        // The explicit truncation record directly follows the header.
+        let trunc = Json::parse(text.lines().nth(1).unwrap()).unwrap();
+        assert!(trunc.get("truncated").is_some());
+        assert_eq!(trunc.get("dropped").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(trunc.get("first_seq").and_then(Json::as_f64), Some(3.0));
         // First retained event keeps its global sequence number.
-        let second_line = text.lines().nth(1).unwrap();
-        let v = Json::parse(second_line).unwrap();
+        let v = Json::parse(text.lines().nth(2).unwrap()).unwrap();
         assert_eq!(v.get("seq").and_then(Json::as_f64), Some(3.0));
+        // The truncated Perfetto export carries the marker instant too.
+        let p = export_perfetto(&o, &[]);
+        validate_perfetto(&p).unwrap();
+        assert!(p.contains(r#""name":"trace_truncated","args":{"dropped":3,"first_seq":3}"#));
+    }
+
+    #[test]
+    fn validator_enforces_truncation_record() {
+        let mut o = TracingObserver::with_ring_capacity(2);
+        for i in 0..5u64 {
+            o.record(Event::new(
+                i as f64,
+                EventKind::Collapse { vpage: i, tier: 0 },
+            ));
+        }
+        let text = export_jsonl(&o, &[]);
+        // Dropping the truncation record from a lossy trace must fail.
+        let without: String = text
+            .lines()
+            .filter(|l| !l.contains("\"truncated\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate_jsonl(&without)
+            .unwrap_err()
+            .contains("no truncation record"));
+        // A spurious truncation record on a lossless trace must fail too.
+        let lossless = export_jsonl(&sample_observer(), &[]);
+        let mut lines: Vec<&str> = lossless.lines().collect();
+        lines.insert(1, "{\"truncated\":true,\"dropped\":0,\"first_seq\":0}");
+        let spurious: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        assert!(validate_jsonl(&spurious)
+            .unwrap_err()
+            .contains("header declares no drops"));
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   [`TracingObserver`] records everything.
 //! - [`export`] — JSONL and Chrome/Perfetto `trace_event` exporters plus
 //!   dependency-free validators for CI smoke checks.
+//! - [`lathist`] — HDR-style log-linear latency histograms ([`LatHist`])
+//!   and the [`FlightRecorder`] aggregate (demand latency by
+//!   tier/page-size, transfer latency, queue wait, abort-to-retry lag).
+//! - [`profile`] — the phase self-profiler ([`Profiler`]/[`SpanId`]):
+//!   scoped host-time spans attributed to simulator phases.
 //!
 //! The crate is dependency-free (events carry plain `u64`/`u8` ids) so the
 //! simulator can depend on it without cycles.
@@ -24,7 +29,9 @@
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod lathist;
 pub mod observer;
+pub mod profile;
 pub mod registry;
 pub mod ring;
 pub mod window;
@@ -33,7 +40,9 @@ pub use event::{Event, EventKind, FaultKind, MigrationFailure, ShootdownCause, T
 pub use export::{
     export_jsonl, export_perfetto, validate_jsonl, validate_perfetto, JsonlSummary, JSONL_SCHEMA,
 };
+pub use lathist::{FlightRecorder, HistStats, LatHist};
 pub use observer::{NopObserver, Observer, TracingObserver};
+pub use profile::{Profiler, SpanGuard, SpanId, SpanStat, ALL_SPANS};
 pub use registry::{CounterId, GaugeId, Registry};
 pub use ring::EventRing;
 pub use window::{WindowCollector, WindowCut, WindowSample};

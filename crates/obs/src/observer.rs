@@ -6,7 +6,10 @@
 //! together with the event-construction code behind it, so an untraced
 //! build pays nothing — not even a branch — at the instrumentation sites.
 
+use std::sync::Arc;
+
 use crate::event::{Event, EventKind};
+use crate::profile::Profiler;
 use crate::registry::{CounterId, GaugeId, Registry};
 use crate::ring::EventRing;
 use crate::window::WindowSample;
@@ -36,6 +39,22 @@ pub trait Observer {
     fn on_window(&mut self, sample: &WindowSample) {
         let _ = sample;
     }
+
+    /// The phase self-profiler this observer carries, if any. Span sites
+    /// go through this accessor, so with the default `None` (and in
+    /// particular with [`NopObserver`]) every span is dead code.
+    #[inline]
+    fn profiler(&self) -> Option<&Arc<Profiler>> {
+        None
+    }
+
+    /// Whether the flight recorder (latency histograms) should be
+    /// attached. Separate from [`Observer::enabled`] so an events-only
+    /// tracer can measure pure event-stream overhead.
+    #[inline]
+    fn flight_enabled(&self) -> bool {
+        false
+    }
 }
 
 /// The default observer: discards everything, compiles to nothing.
@@ -60,6 +79,16 @@ impl<O: Observer + ?Sized> Observer for &mut O {
     fn on_window(&mut self, sample: &WindowSample) {
         (**self).on_window(sample);
     }
+
+    #[inline]
+    fn profiler(&self) -> Option<&Arc<Profiler>> {
+        (**self).profiler()
+    }
+
+    #[inline]
+    fn flight_enabled(&self) -> bool {
+        (**self).flight_enabled()
+    }
 }
 
 /// A recording observer: events go into a drop-oldest [`EventRing`] and
@@ -71,20 +100,36 @@ pub struct TracingObserver {
     pub ring: EventRing,
     /// Counters and gauges derived from the event stream.
     pub registry: Registry,
+    /// The phase self-profiler, when the full flight recorder is on.
+    pub profiler: Option<Arc<Profiler>>,
+    /// Whether latency histograms should be attached to the machine.
+    pub flight: bool,
 }
 
 impl TracingObserver {
-    /// Creates a tracer with the default ring capacity.
+    /// Creates a full tracer (events + profiler + flight recorder) with
+    /// the default ring capacity.
     pub fn new() -> Self {
-        Self::default()
+        TracingObserver {
+            profiler: Some(Arc::new(Profiler::new())),
+            flight: true,
+            ..Default::default()
+        }
     }
 
-    /// Creates a tracer retaining at most `capacity` events.
+    /// Creates a full tracer retaining at most `capacity` events.
     pub fn with_ring_capacity(capacity: usize) -> Self {
         TracingObserver {
             ring: EventRing::with_capacity(capacity),
-            registry: Registry::new(),
+            ..Self::new()
         }
+    }
+
+    /// Creates a tracer that records events only — no profiler spans, no
+    /// latency histograms. Used to separate event-stream overhead from
+    /// flight-recorder overhead in the hotpath bench.
+    pub fn events_only() -> Self {
+        TracingObserver::default()
     }
 }
 
@@ -92,6 +137,16 @@ impl Observer for TracingObserver {
     #[inline]
     fn enabled(&self) -> bool {
         true
+    }
+
+    #[inline]
+    fn profiler(&self) -> Option<&Arc<Profiler>> {
+        self.profiler.as_ref()
+    }
+
+    #[inline]
+    fn flight_enabled(&self) -> bool {
+        self.flight
     }
 
     fn record(&mut self, event: Event) {
@@ -183,6 +238,19 @@ mod tests {
                 cause: ShootdownCause::Unmap,
             },
         ));
+    }
+
+    #[test]
+    fn tracer_modes_gate_profiler_and_flight() {
+        let full = TracingObserver::new();
+        assert!(full.profiler().is_some());
+        assert!(full.flight_enabled());
+        let events = TracingObserver::events_only();
+        assert!(events.enabled());
+        assert!(events.profiler().is_none());
+        assert!(!events.flight_enabled());
+        assert!(NopObserver.profiler().is_none());
+        assert!(!NopObserver.flight_enabled());
     }
 
     #[test]

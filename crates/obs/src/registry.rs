@@ -6,150 +6,122 @@
 //! without synchronizing with readers. Readers see each cell individually
 //! atomically; cross-counter snapshots are only consistent at quiescence,
 //! which is all the end-of-run reporting needs.
+//!
+//! # Naming convention
+//!
+//! Exported names are `snake_case` and end with a unit suffix:
+//!
+//! - `_total` — monotonic event counts (every [`CounterId`]),
+//! - `_bytes` — byte quantities,
+//! - `_ns` — nanosecond durations,
+//! - `_ratio` — dimensionless fractions in `[0, 1]`,
+//! - `_count` — point-in-time discrete quantities (bins, queue entries,
+//!   sampling-period lengths).
+//!
+//! The [`registry_ids!`] macro generates the enum, its `ALL` table, and its
+//! `name()` method from one variant list, so a new counter or gauge cannot
+//! be added without a name — the match and the table are exhaustive by
+//! construction — and a unit test rejects names that stray from the suffix
+//! convention.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counter identifiers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(usize)]
-pub enum CounterId {
-    /// Events recorded into the trace ring (before overflow drops).
-    EventsRecorded,
-    /// Events lost to ring overflow (drop-oldest).
-    EventsDropped,
-    /// Pages promoted toward the fast tier.
-    Promotions,
-    /// Pages demoted away from the fast tier.
-    Demotions,
-    /// Huge pages split.
-    Splits,
-    /// Huge pages collapsed.
-    Collapses,
-    /// Histogram cooling passes.
-    CoolingTicks,
-    /// Threshold recomputations (Algorithm 1 walks).
-    ThresholdRecomputes,
-    /// PEBS sample batches processed.
-    SampleBatches,
-    /// PEBS samples processed (sum over batches).
-    SamplesProcessed,
-    /// TLB shootdowns observed.
-    TlbShootdowns,
-    /// Migration attempts that failed in the machine.
-    MigrationsFailed,
-    /// Queued migrations cancelled at re-validation.
-    MigrationsCancelled,
-    /// Asynchronous transfers admitted to the migration engine.
-    MigrationsEnqueued,
-    /// In-flight transfers that ended without remapping the page.
-    MigrationsAborted,
-    /// Perturbations applied by the fault-injection layer.
-    FaultsInjected,
-    /// Histogram bin underflows (metadata/histogram desync) detected.
-    HistUnderflow,
-    /// Epoch-barrier telemetry events emitted by sharded runs.
-    ShardBarriers,
+/// Defines a registry identifier enum together with its `ALL` table and
+/// `name()` accessor. One variant list feeds all three, so an unnamed or
+/// unlisted identifier is unrepresentable.
+macro_rules! registry_ids {
+    (
+        $(#[$enum_meta:meta])*
+        $enum_name:ident {
+            $($(#[$variant_meta:meta])* $variant:ident => $name:literal,)+
+        }
+    ) => {
+        $(#[$enum_meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(usize)]
+        pub enum $enum_name {
+            $($(#[$variant_meta])* $variant,)+
+        }
+
+        impl $enum_name {
+            /// All identifiers, in registry order.
+            pub const ALL: [$enum_name; [$(stringify!($variant)),+].len()] =
+                [$($enum_name::$variant,)+];
+
+            /// Stable `snake_case` exporter name, ending in a unit suffix
+            /// (see the module docs for the convention).
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $($enum_name::$variant => $name,)+
+                }
+            }
+        }
+    };
 }
 
-impl CounterId {
-    /// All counters, in registry order.
-    pub const ALL: [CounterId; 18] = [
-        CounterId::EventsRecorded,
-        CounterId::EventsDropped,
-        CounterId::Promotions,
-        CounterId::Demotions,
-        CounterId::Splits,
-        CounterId::Collapses,
-        CounterId::CoolingTicks,
-        CounterId::ThresholdRecomputes,
-        CounterId::SampleBatches,
-        CounterId::SamplesProcessed,
-        CounterId::TlbShootdowns,
-        CounterId::MigrationsFailed,
-        CounterId::MigrationsCancelled,
-        CounterId::MigrationsEnqueued,
-        CounterId::MigrationsAborted,
-        CounterId::FaultsInjected,
-        CounterId::HistUnderflow,
-        CounterId::ShardBarriers,
-    ];
-
-    /// Stable snake_case name used by the exporters.
-    pub fn name(&self) -> &'static str {
-        match self {
-            CounterId::EventsRecorded => "events_recorded",
-            CounterId::EventsDropped => "events_dropped",
-            CounterId::Promotions => "promotions",
-            CounterId::Demotions => "demotions",
-            CounterId::Splits => "splits",
-            CounterId::Collapses => "collapses",
-            CounterId::CoolingTicks => "cooling_ticks",
-            CounterId::ThresholdRecomputes => "threshold_recomputes",
-            CounterId::SampleBatches => "sample_batches",
-            CounterId::SamplesProcessed => "samples_processed",
-            CounterId::TlbShootdowns => "tlb_shootdowns",
-            CounterId::MigrationsFailed => "migrations_failed",
-            CounterId::MigrationsCancelled => "migrations_cancelled",
-            CounterId::MigrationsEnqueued => "migrations_enqueued",
-            CounterId::MigrationsAborted => "migrations_aborted",
-            CounterId::FaultsInjected => "faults_injected",
-            CounterId::HistUnderflow => "hist_underflow",
-            CounterId::ShardBarriers => "shard_barriers",
-        }
+registry_ids! {
+    /// Monotonic counter identifiers.
+    CounterId {
+        /// Events recorded into the trace ring (before overflow drops).
+        EventsRecorded => "events_recorded_total",
+        /// Events lost to ring overflow (drop-oldest).
+        EventsDropped => "events_dropped_total",
+        /// Pages promoted toward the fast tier.
+        Promotions => "promotions_total",
+        /// Pages demoted away from the fast tier.
+        Demotions => "demotions_total",
+        /// Huge pages split.
+        Splits => "splits_total",
+        /// Huge pages collapsed.
+        Collapses => "collapses_total",
+        /// Histogram cooling passes.
+        CoolingTicks => "cooling_ticks_total",
+        /// Threshold recomputations (Algorithm 1 walks).
+        ThresholdRecomputes => "threshold_recomputes_total",
+        /// PEBS sample batches processed.
+        SampleBatches => "sample_batches_total",
+        /// PEBS samples processed (sum over batches).
+        SamplesProcessed => "samples_processed_total",
+        /// TLB shootdowns observed.
+        TlbShootdowns => "tlb_shootdowns_total",
+        /// Migration attempts that failed in the machine.
+        MigrationsFailed => "migrations_failed_total",
+        /// Queued migrations cancelled at re-validation.
+        MigrationsCancelled => "migrations_cancelled_total",
+        /// Asynchronous transfers admitted to the migration engine.
+        MigrationsEnqueued => "migrations_enqueued_total",
+        /// In-flight transfers that ended without remapping the page.
+        MigrationsAborted => "migrations_aborted_total",
+        /// Perturbations applied by the fault-injection layer.
+        FaultsInjected => "faults_injected_total",
+        /// Histogram bin underflows (metadata/histogram desync) detected.
+        HistUnderflow => "hist_underflows_total",
+        /// Epoch-barrier telemetry events emitted by sharded runs.
+        ShardBarriers => "shard_barriers_total",
     }
 }
 
-/// Gauge identifiers (point-in-time values, not monotonic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(usize)]
-pub enum GaugeId {
-    /// Bytes currently classified hot.
-    HotSetBytes,
-    /// Bytes currently classified warm.
-    WarmSetBytes,
-    /// Bytes currently classified cold.
-    ColdSetBytes,
-    /// Non-empty histogram bins (occupancy of the classification array).
-    HistActiveBins,
-    /// Estimated sampling CPU usage (fraction of one core).
-    SamplingCpu,
-    /// Current PEBS load sampling period.
-    LoadPeriod,
-    /// Most recent windowed real hit ratio (rHR).
-    Rhr,
-    /// Most recent windowed estimated base-page hit ratio (eHR).
-    Ehr,
-    /// Migration-engine admission-queue depth after the latest enqueue.
-    MigrationQueueDepth,
-}
-
-impl GaugeId {
-    /// All gauges, in registry order.
-    pub const ALL: [GaugeId; 9] = [
-        GaugeId::HotSetBytes,
-        GaugeId::WarmSetBytes,
-        GaugeId::ColdSetBytes,
-        GaugeId::HistActiveBins,
-        GaugeId::SamplingCpu,
-        GaugeId::LoadPeriod,
-        GaugeId::Rhr,
-        GaugeId::Ehr,
-        GaugeId::MigrationQueueDepth,
-    ];
-
-    /// Stable snake_case name used by the exporters.
-    pub fn name(&self) -> &'static str {
-        match self {
-            GaugeId::HotSetBytes => "hot_set_bytes",
-            GaugeId::WarmSetBytes => "warm_set_bytes",
-            GaugeId::ColdSetBytes => "cold_set_bytes",
-            GaugeId::HistActiveBins => "hist_active_bins",
-            GaugeId::SamplingCpu => "sampling_cpu",
-            GaugeId::LoadPeriod => "load_period",
-            GaugeId::Rhr => "rhr",
-            GaugeId::Ehr => "ehr",
-            GaugeId::MigrationQueueDepth => "migration_queue_depth",
-        }
+registry_ids! {
+    /// Gauge identifiers (point-in-time values, not monotonic).
+    GaugeId {
+        /// Bytes currently classified hot.
+        HotSetBytes => "hot_set_bytes",
+        /// Bytes currently classified warm.
+        WarmSetBytes => "warm_set_bytes",
+        /// Bytes currently classified cold.
+        ColdSetBytes => "cold_set_bytes",
+        /// Non-empty histogram bins (occupancy of the classification array).
+        HistActiveBins => "hist_active_bins_count",
+        /// Estimated sampling CPU usage (fraction of one core).
+        SamplingCpu => "sampling_cpu_ratio",
+        /// Current PEBS load sampling period (accesses between samples).
+        LoadPeriod => "load_period_count",
+        /// Most recent windowed real hit ratio (rHR).
+        Rhr => "rhr_ratio",
+        /// Most recent windowed estimated base-page hit ratio (eHR).
+        Ehr => "ehr_ratio",
+        /// Migration-engine admission-queue depth after the latest enqueue.
+        MigrationQueueDepth => "migration_queue_depth_count",
     }
 }
 
@@ -252,6 +224,40 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), CounterId::ALL.len());
+    }
+
+    #[test]
+    fn names_follow_unit_suffix_convention() {
+        let snake = |n: &str| {
+            !n.is_empty()
+                && n.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+                && !n.starts_with('_')
+                && !n.ends_with('_')
+                && !n.contains("__")
+        };
+        // Monotonic counters always count events.
+        for c in CounterId::ALL {
+            assert!(snake(c.name()), "counter {:?} name not snake_case", c);
+            assert!(
+                c.name().ends_with("_total"),
+                "counter {:?} name {:?} must end with _total",
+                c,
+                c.name()
+            );
+        }
+        // Gauges carry the unit of whatever they measure.
+        const GAUGE_UNITS: [&str; 4] = ["_bytes", "_ns", "_ratio", "_count"];
+        for g in GaugeId::ALL {
+            assert!(snake(g.name()), "gauge {:?} name not snake_case", g);
+            assert!(
+                GAUGE_UNITS.iter().any(|u| g.name().ends_with(u)),
+                "gauge {:?} name {:?} lacks a unit suffix {:?}",
+                g,
+                g.name(),
+                GAUGE_UNITS
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use memtis_sim::engine::EngineEvent;
 use memtis_sim::faults::{
     FaultInjector, FaultPlan, SampleFate, TickFate, DRIVER_FAULT_SALT, RUNTIME_TICK_FAULT_SALT,
 };
+use memtis_sim::obs::{Profiler, SpanId, SpanStat};
 use memtis_sim::prelude::{
     Access, AccessOutcome, CostAccounting, CostSink, FaultCounters, Machine, MachineConfig,
     PolicyOps, SimResult, TierId, TieringPolicy,
@@ -68,6 +69,10 @@ pub struct Runtime {
     threads: Vec<JoinHandle<()>>,
     /// Shared counters.
     pub stats: Arc<RuntimeStats>,
+    /// Phase self-profiler shared with both daemon threads: `ksampled`
+    /// delivery shows up as `sampling_drain`, `kmigrated` as `policy_tick`
+    /// plus `migration_pump`.
+    pub profiler: Arc<Profiler>,
 }
 
 impl Runtime {
@@ -105,6 +110,7 @@ impl Runtime {
         let (tx, rx): (Sender<SampleMsg>, Receiver<SampleMsg>) = bounded(4096);
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(RuntimeStats::default());
+        let profiler = Arc::new(Profiler::new());
 
         let mut threads = Vec::new();
 
@@ -114,6 +120,7 @@ impl Runtime {
             let policy = Arc::clone(&policy);
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
+            let profiler = Arc::clone(&profiler);
             let mut faults = sample_faults;
             threads.push(
                 std::thread::Builder::new()
@@ -139,6 +146,7 @@ impl Runtime {
                                     if fate == SampleFate::Duplicate {
                                         stats.fault_samples_duped.fetch_add(1, Ordering::Relaxed);
                                     }
+                                    let _span = profiler.enter(SpanId::SamplingDrain);
                                     let mut m = machine.lock();
                                     let mut p = policy.lock();
                                     for _ in 0..deliveries {
@@ -177,6 +185,7 @@ impl Runtime {
             let policy = Arc::clone(&policy);
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
+            let profiler = Arc::clone(&profiler);
             let mut faults = tick_faults;
             threads.push(
                 std::thread::Builder::new()
@@ -215,12 +224,16 @@ impl Runtime {
                             }
                             let mut m = machine.lock();
                             let mut p = policy.lock();
-                            let mut ops =
-                                PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, now_ns);
-                            p.tick(&mut ops);
+                            {
+                                let _span = profiler.enter(SpanId::PolicyTick);
+                                let mut ops =
+                                    PolicyOps::new(&mut m, &mut acct, CostSink::Daemon, now_ns);
+                                p.tick(&mut ops);
+                            }
                             // With a bandwidth-limited link, `tick` only
                             // enqueued transfers; advance the engine and
                             // report completions/aborts back to the policy.
+                            let _span = profiler.enter(SpanId::MigrationPump);
                             for ev in m.pump_transfers(now_ns) {
                                 if let EngineEvent::Ended(end) = ev {
                                     let mut ops =
@@ -242,7 +255,14 @@ impl Runtime {
             shutdown,
             threads,
             stats,
+            profiler,
         }
+    }
+
+    /// Snapshot of the daemon phase-attribution table (calls and host ns
+    /// per span). Monotone; safe to read while the daemons run.
+    pub fn profile_stats(&self) -> Vec<SpanStat> {
+        self.profiler.stats()
     }
 
     /// Maps a region (application side), asking the policy for placement.
@@ -458,6 +478,30 @@ mod tests {
         let dropped = stats.samples_dropped.load(Ordering::Relaxed);
         assert_eq!(stats.accesses.load(Ordering::Relaxed), 200_000);
         assert!(delivered + dropped > 0);
+    }
+
+    /// The daemons self-profile: after a run that delivered samples and
+    /// fired wakeups, the shared profiler must attribute host time to
+    /// `sampling_drain`, `policy_tick`, and `migration_pump`.
+    #[test]
+    fn daemons_accumulate_phase_profile() {
+        let (mc, pc) = small_cfg();
+        let rt = Runtime::start(mc, pc, Duration::from_millis(1));
+        rt.alloc_region(0, HUGE_PAGE_SIZE, true).unwrap();
+        for i in 0..5_000u64 {
+            rt.access(Access::store((i % 512) * 4096)).unwrap();
+            if i % 256 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = rt.profile_stats();
+        rt.shutdown();
+        let get = |id: SpanId| stats.iter().find(|s| s.id == id).unwrap();
+        assert!(get(SpanId::SamplingDrain).calls > 0);
+        assert!(get(SpanId::PolicyTick).calls > 0);
+        assert!(get(SpanId::MigrationPump).calls > 0);
+        assert!(get(SpanId::PolicyTick).ns > 0);
     }
 
     #[test]

@@ -26,9 +26,10 @@ use crate::machine::{BatchClock, BatchStop, Machine};
 use crate::policy::{abort_failure, CostAccounting, CostSink, PolicyOps, TieringPolicy};
 use crate::shard::{self, lane_of, LaneScratch, NUM_LANES};
 use crate::stats::MachineStats;
+use memtis_obs::profile::{SpanGuard, SpanId, SpanStat};
 use memtis_obs::{
-    Event, EventKind, NopObserver, Observer, ShootdownCause, WindowCollector, WindowCut,
-    WindowSample,
+    Event, EventKind, FlightRecorder, HistStats, LatHist, NopObserver, Observer, ShootdownCause,
+    WindowCollector, WindowCut, WindowSample,
 };
 
 /// One event produced by a workload generator.
@@ -134,6 +135,11 @@ pub struct DriverConfig {
     /// Reports, traces, and window series are byte-identical for every `s`
     /// at a fixed `chunk`; `None` keeps the unsharded pipeline.
     pub shards: Option<usize>,
+    /// Heartbeat period in workload events: every this-many events the
+    /// driver prints a compact one-line JSON status to *stderr* (stdout
+    /// output and the report stay untouched), so hours-long soaks are
+    /// inspectable mid-run. `None` disables.
+    pub heartbeat_events: Option<u64>,
 }
 
 impl Default for DriverConfig {
@@ -149,6 +155,7 @@ impl Default for DriverConfig {
             faults: None,
             chunk: DEFAULT_CHUNK,
             shards: None,
+            heartbeat_events: None,
         }
     }
 }
@@ -173,7 +180,7 @@ pub struct Snapshot {
 }
 
 /// Result of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Workload name.
     pub workload: String,
@@ -211,6 +218,16 @@ pub struct RunReport {
     pub hist_underflows: u64,
     /// Fault-injection tallies (all zero on normal runs).
     pub faults: FaultCounters,
+    /// Flight-recorder latency summary: flat `(key, value)` rows of
+    /// percentiles/counts per class (demand by tier/page-size, transfer,
+    /// queue-wait, abort-to-retry). Empty unless the observer attached the
+    /// flight recorder. Simulated-time quantities only, so the rows are
+    /// deterministic and chunk/shard-invariant.
+    pub lat: Vec<(String, f64)>,
+    /// Per-window flight-recorder summaries, parallel to `windows` (cut by
+    /// differencing cumulative histogram snapshots). Empty unless the
+    /// flight recorder is attached.
+    pub lat_windows: Vec<Vec<(String, f64)>>,
     /// *Host* wall-clock time the run took (ns) — simulator self-throughput,
     /// not simulated time. Tracks the perf trajectory of the simulator
     /// itself across PRs (see BENCH_*.json).
@@ -347,6 +364,82 @@ pub struct Simulation<P: TieringPolicy, O: Observer = NopObserver> {
     hist_underflows_seen: u64,
     /// Sharded-execution state (`None` on unsharded runs).
     shard: Option<ShardRun>,
+    /// Flight-recorder snapshot at the last window cut, for differencing
+    /// cumulative histograms into per-window series.
+    flight_prev: FlightRecorder,
+    /// Per-window flight-recorder summaries collected so far.
+    lat_windows: Vec<Vec<(String, f64)>>,
+    /// Heartbeat period in events (`u64::MAX` disables) and next due point.
+    hb_every: u64,
+    hb_next: u64,
+    /// Host start time, for heartbeat events/sec.
+    host_start: std::time::Instant,
+}
+
+/// Human tier label for flight-recorder report keys.
+fn tier_label(tier: usize) -> String {
+    match tier {
+        0 => "fast".to_string(),
+        1 => "cap".to_string(),
+        n => format!("tier{n}"),
+    }
+}
+
+/// Appends the standard percentile rows of one histogram summary under
+/// `prefix`.
+fn lat_rows(out: &mut Vec<(String, f64)>, prefix: &str, s: &HistStats) {
+    out.push((format!("{prefix}_count"), s.count as f64));
+    out.push((format!("{prefix}_p50_ns"), s.p50 as f64));
+    out.push((format!("{prefix}_p90_ns"), s.p90 as f64));
+    out.push((format!("{prefix}_p99_ns"), s.p99 as f64));
+    out.push((format!("{prefix}_p999_ns"), s.p999 as f64));
+    out.push((format!("{prefix}_mean_ns"), s.mean));
+    out.push((format!("{prefix}_max_ns"), s.max as f64));
+}
+
+/// Flattens a flight recorder into the report's `(key, value)` rows:
+/// overall demand, each non-empty `(tier, page-size)` demand class, and
+/// the migration transfer / queue-wait / abort-to-retry histograms.
+///
+/// With `prev = Some(snapshot)` the rows cover the window since that
+/// snapshot, computed via single-pass difference stats — the per-window
+/// cut never materialises difference histograms (the recorder must be
+/// flushed; the caller does so). With `prev = None` the rows cover the
+/// whole run. A demand class gets rows iff it saw samples in the covered
+/// span; the aggregate rows are always present.
+fn flight_rows_since(cur: &FlightRecorder, prev: Option<&FlightRecorder>) -> Vec<(String, f64)> {
+    let class_stats = |h: &LatHist, p: Option<&LatHist>| match p {
+        Some(p) => h.stats_since(p),
+        None => h.stats(),
+    };
+    let mut out = Vec::new();
+    let all = match prev {
+        Some(p) => cur.demand_all_stats_since(p),
+        None => cur.demand_all_stats(),
+    };
+    lat_rows(&mut out, "demand", &all);
+    for t in 0..cur.demand_tiers() {
+        for (huge, sfx) in [(false, "base"), (true, "huge")] {
+            if let Some(h) = cur.demand(t as u8, huge) {
+                let s = class_stats(h, prev.and_then(|p| p.demand(t as u8, huge)));
+                if s.count > 0 {
+                    lat_rows(&mut out, &format!("demand_{}_{}", tier_label(t), sfx), &s);
+                }
+            }
+        }
+    }
+    for (name, h, p) in [
+        ("transfer", &cur.transfer, prev.map(|p| &p.transfer)),
+        ("queue_wait", &cur.queue_wait, prev.map(|p| &p.queue_wait)),
+        (
+            "abort_retry",
+            &cur.abort_retry,
+            prev.map(|p| &p.abort_retry),
+        ),
+    ] {
+        lat_rows(&mut out, name, &class_stats(h, p));
+    }
+    out
 }
 
 impl<P: TieringPolicy> Simulation<P, NopObserver> {
@@ -395,9 +488,13 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             }
             _ => None,
         };
+        if obs.enabled() && obs.flight_enabled() {
+            machine.attach_flight();
+        }
         let next_tick = cfg.tick_interval_ns;
         let next_snapshot = cfg.timeline_interval_ns;
         let wcol = WindowCollector::new(cfg.window_events);
+        let hb_every = cfg.heartbeat_events.unwrap_or(u64::MAX).max(1);
         Simulation {
             machine,
             policy,
@@ -424,6 +521,11 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             has_faults,
             hist_underflows_seen: 0,
             shard,
+            flight_prev: FlightRecorder::new(),
+            lat_windows: Vec::new(),
+            hb_every,
+            hb_next: hb_every,
+            host_start: std::time::Instant::now(),
         }
     }
 
@@ -445,6 +547,24 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
     /// Consumes the simulation, returning the observer (for export).
     pub fn into_observer(self) -> O {
         self.obs
+    }
+
+    /// The flight recorder's cumulative histograms, if attached.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.machine.flight()
+    }
+
+    /// The self-profiler's attribution table (host time per phase), if the
+    /// observer carries a profiler. `None` on untraced runs.
+    pub fn profile_stats(&self) -> Option<Vec<SpanStat>> {
+        self.obs.profiler().map(|p| p.stats())
+    }
+
+    /// Opens a self-profiling span if the observer carries a profiler.
+    /// The guard owns its `Arc`, so the borrow of `obs` ends here.
+    #[inline]
+    fn span(obs: &O, id: SpanId) -> Option<SpanGuard> {
+        obs.profiler().map(|p| p.enter(id))
     }
 
     fn ops<'a>(
@@ -661,6 +781,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
         if self.machine.transfers_idle() && !self.machine.has_fault_injection() {
             return;
         }
+        let _span = Self::span(&self.obs, SpanId::MigrationPump);
         let events = self.machine.pump_transfers(self.wall_ns);
         if events.is_empty() {
             return;
@@ -747,6 +868,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
                     TickFate::Run => {}
                 }
             }
+            let _span = Self::span(&self.obs, SpanId::PolicyTick);
             let mut ops = Self::ops(
                 &mut self.machine,
                 &mut self.acct,
@@ -848,6 +970,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
     /// Closes the current telemetry window at the present cumulative state
     /// and notifies the observer.
     fn cut_telemetry_window(&mut self) {
+        let _span = Self::span(&self.obs, SpanId::WindowCut);
         self.note_hist_underflows();
         // Epoch-barrier telemetry: cumulative burst/spill tallies at the
         // cut. Both values are shard-count-invariant, so traces stay
@@ -877,6 +1000,16 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             hist_bins,
         });
         self.obs.on_window(sample);
+        // Cut the flight recorder's window by single-pass difference stats
+        // against the last cut's snapshot (no histograms are materialised,
+        // and the snapshot reuses its allocations). `WindowSample` itself
+        // stays untouched so traced and untraced window series still match.
+        if self.machine.flight_attached() {
+            let cur = self.machine.flight().expect("checked attached");
+            self.lat_windows
+                .push(flight_rows_since(cur, Some(&self.flight_prev)));
+            self.flight_prev.snapshot_from(cur);
+        }
     }
 
     /// Processes one workload event plus the per-event bookkeeping the main
@@ -912,6 +1045,9 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
         if self.wcol.due(self.sim_events) {
             self.cut_telemetry_window();
         }
+        if self.sim_events >= self.hb_next {
+            self.emit_heartbeat();
+        }
         if let Some(max) = self.cfg.max_accesses {
             if self.accesses >= max {
                 return true;
@@ -919,6 +1055,35 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
         }
         self.rss_peak = self.rss_peak.max(self.machine.rss_bytes());
         false
+    }
+
+    /// Prints the periodic one-line JSON status to stderr (never stdout —
+    /// reports and exported traces stay unperturbed). Host-time rate plus
+    /// instantaneous simulated-state gauges; flight-recorder p99 when the
+    /// recorder is attached, 0 otherwise.
+    fn emit_heartbeat(&mut self) {
+        while self.hb_next <= self.sim_events {
+            self.hb_next += self.hb_every;
+        }
+        let elapsed = self.host_start.elapsed().as_secs_f64().max(1e-9);
+        let eps = self.sim_events as f64 / elapsed;
+        let p99 = self
+            .machine
+            .flight()
+            .map(|f| f.demand_all_stats().p99)
+            .unwrap_or(0);
+        eprintln!(
+            "{{\"schema\":\"memtis-heartbeat-v1\",\"sim_events\":{},\"events_per_sec\":{:.0},\
+             \"wall_ns\":{:.0},\"inflight\":{},\"queue_depth\":{},\"p99_demand_ns\":{},\
+             \"rss_bytes\":{}}}",
+            self.sim_events,
+            eps,
+            self.wall_ns,
+            self.machine.transfers_in_flight(),
+            self.machine.transfer_queue_len(),
+            p99,
+            self.machine.rss_bytes(),
+        );
     }
 
     /// The batched main loop: pulls events in [`DriverConfig::chunk`]-sized
@@ -997,18 +1162,22 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
                     stop_wall_ns: self.next_tick.min(self.next_snapshot),
                 };
                 records.clear();
-                let (consumed, stop) = self.machine.access_batch(
-                    &buf[i..i + limit as usize],
-                    &mut records,
-                    &mut clock,
-                    filter,
-                );
+                let (consumed, stop) = {
+                    let _span = Self::span(&self.obs, SpanId::BatchExec);
+                    self.machine.access_batch(
+                        &buf[i..i + limit as usize],
+                        &mut records,
+                        &mut clock,
+                        filter,
+                    )
+                };
                 self.wall_ns = clock.wall_ns;
                 self.app_access_ns = clock.app_access_ns;
                 self.accesses += consumed as u64;
                 self.sim_events += consumed as u64;
                 i += consumed;
                 if !records.is_empty() {
+                    let _span = Self::span(&self.obs, SpanId::SamplingDrain);
                     let mut ops = Self::ops(
                         &mut self.machine,
                         &mut self.acct,
@@ -1113,7 +1282,10 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             sh.lanes[lane_of(a.vaddr.base_page())].push(a);
         }
         let phase_start = std::time::Instant::now();
-        shard::run_burst(&mut self.machine, &mut sh.lanes, sh.shards);
+        {
+            let _span = Self::span(&self.obs, SpanId::ShardBarrier);
+            shard::run_burst(&mut self.machine, &mut sh.lanes, sh.shards);
+        }
         let phase_ns = phase_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         shard::apply_deferred_bits(&mut self.machine, &mut sh.lanes);
         // Per-shard load split (deterministic, matching `run_burst`'s
@@ -1128,6 +1300,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
         }
 
         records.clear();
+        let fold_span = Self::span(&self.obs, SpanId::ShardFold);
         let mut cursors = [0usize; NUM_LANES];
         let threads = self.threads();
         for ev in &events[..m] {
@@ -1154,6 +1327,14 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
                 } else {
                     self.machine.stats.loads += 1;
                 }
+                // Lane outcomes bypass `Machine::access`, so the fold is
+                // the flight recorder's tap for them (spills below record
+                // through the serial path instead).
+                self.machine.flight_record_demand(
+                    outcome.tier,
+                    outcome.page_size,
+                    outcome.latency_ns,
+                );
                 self.app_access_ns += outcome.latency_ns;
                 self.wall_ns += outcome.latency_ns / threads;
                 self.accesses += 1;
@@ -1169,6 +1350,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             }
         }
         self.flush_record_batch(records);
+        drop(fold_span);
         sh.bursts += 1;
         sh.busy_ns += phase_ns;
         sh.lane_accesses += burst_load;
@@ -1184,6 +1366,7 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
         if records.is_empty() {
             return;
         }
+        let _span = Self::span(&self.obs, SpanId::SamplingDrain);
         let mut ops = Self::ops(
             &mut self.machine,
             &mut self.acct,
@@ -1265,6 +1448,12 @@ impl<P: TieringPolicy, O: Observer> Simulation<P, O> {
             sim_events: self.sim_events - events_at_start,
             hist_underflows: self.hist_underflows_seen,
             faults: fault_counters,
+            lat: self
+                .machine
+                .flight()
+                .map(|f| flight_rows_since(f, None))
+                .unwrap_or_default(),
+            lat_windows: self.lat_windows.clone(),
             host_elapsed_ns: host_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         })
     }

@@ -183,6 +183,10 @@ pub(crate) struct Transfer {
     seq: u64,
     /// Whether a copy pass has begun.
     pub started: bool,
+    /// Time the first copy pass began (valid once started; unlike
+    /// `start_ns` it survives dirty re-copies, so `end_ns -
+    /// first_start_ns` is the full copy latency including restarts).
+    pub first_start_ns: f64,
     /// Time the current copy pass began (valid once started).
     pub start_ns: f64,
     /// Time the current copy pass will finish (valid once started).
@@ -236,6 +240,8 @@ pub(crate) enum PumpOutcome {
         from: TierId,
         to: TierId,
         bytes: u64,
+        /// Enqueue → copy-start wait (sim ns), for the flight recorder.
+        wait_ns: f64,
     },
     /// A copy pass finished clean; the machine remaps (or supersedes).
     CopyDone(Transfer),
@@ -396,6 +402,7 @@ impl MigrationEngine {
             enqueued_ns: now_ns,
             seq,
             started: false,
+            first_start_ns: 0.0,
             start_ns: 0.0,
             end_ns: 0.0,
             dirty: false,
@@ -480,6 +487,7 @@ impl MigrationEngine {
                     let mut t = self.pending.remove(idx);
                     let bw = bw_of(t.from, t.to);
                     t.start_ns = self.links[li].free_ns.max(t.enqueued_ns);
+                    t.first_start_ns = t.start_ns;
                     t.end_ns = t.start_ns + t.bytes as f64 / bw;
                     t.started = true;
                     out.push(PumpOutcome::Started {
@@ -488,6 +496,7 @@ impl MigrationEngine {
                         from: t.from,
                         to: t.to,
                         bytes: t.bytes,
+                        wait_ns: t.start_ns - t.enqueued_ns,
                     });
                     self.links[li].active = Some(t);
                 }

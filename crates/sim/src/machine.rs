@@ -22,7 +22,7 @@ use crate::page_table::{EntryMut, PageTable, Translation};
 use crate::stats::MachineStats;
 use crate::tier::TierAllocator;
 use crate::tlb::Tlb;
-use memtis_obs::FaultKind;
+use memtis_obs::{FaultKind, FlightRecorder};
 
 /// Per-PTE update cost during a split or collapse (ns).
 const PTE_UPDATE_NS: f64 = 15.0;
@@ -139,6 +139,15 @@ pub struct Machine {
     engine: MigrationEngine,
     /// Installed fault injector (chaos runs only; `None` on normal runs).
     faults: Option<FaultInjector>,
+    /// Flight-recorder latency histograms; `None` (no cost beyond one
+    /// branch) unless an observer with the flight recorder is attached.
+    flight: Option<Box<FlightRecorder>>,
+    /// Demand-tap skip-sampler state (see [`FLIGHT_DEMAND_SAMPLE_MEAN`]):
+    /// accesses left to skip before the next sample (`u64::MAX` while no
+    /// recorder is attached), and the xorshift state drawing the next gap.
+    /// Observer-side only — never feeds back into simulation results.
+    flight_skip: u64,
+    flight_rng: u64,
     /// Running counters.
     pub stats: MachineStats,
 }
@@ -171,6 +180,25 @@ fn route_llc<'a>(
     }
 }
 
+/// Mean inter-sample gap of the flight recorder's demand-latency tap.
+///
+/// Recording every access costs ~6-8% of the hot loop (the histogram index
+/// plus three read-modify-writes per access dominate), far over the flight
+/// recorder's ≤2% budget. MEMTIS itself profiles through sampled PEBS
+/// events, so the tap follows the same discipline: deterministic
+/// skip-sampling, with gaps drawn uniformly from
+/// `[0, 2 * FLIGHT_DEMAND_SAMPLE_MEAN)` by a seeded xorshift — one sample
+/// per ~16.5 accesses on average. Subsampling error on the reported
+/// percentiles is negligible at bench scale (thousands of samples per
+/// telemetry window), and the gap schedule depends only on access stream
+/// order, so sharded, chunked, and serial-fold runs record byte-identical
+/// histograms. Migration-side histograms (transfer, queue-wait,
+/// abort-to-retry) stay exact: those events are orders of magnitude rarer.
+pub const FLIGHT_DEMAND_SAMPLE_MEAN: u64 = 16;
+
+/// Seed for the demand-tap gap sequence (the 64-bit golden ratio constant).
+const FLIGHT_RNG_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
 impl Machine {
     /// Builds a machine from the configuration. Tier frame ranges are laid
     /// out contiguously, fastest tier first.
@@ -190,9 +218,70 @@ impl Machine {
             stats: MachineStats::default(),
             engine: MigrationEngine::new(cfg.migration.queue_depth, cfg.migration.max_recopies),
             faults: None,
+            flight: None,
+            flight_skip: u64::MAX,
+            flight_rng: FLIGHT_RNG_SEED,
             lanes: None,
             cfg,
         }
+    }
+
+    /// Attaches the flight recorder: from now on demand accesses and
+    /// migration lifecycle points feed its latency histograms. Idempotent.
+    /// Never attached on untraced runs, so they stay byte-identical.
+    pub fn attach_flight(&mut self) {
+        if self.flight.is_none() {
+            self.flight = Some(Box::default());
+            self.flight_skip = 0;
+        }
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_deref()
+    }
+
+    /// Whether the flight recorder is attached.
+    pub fn flight_attached(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// Feeds one demand access to the flight recorder through the
+    /// deterministic skip-sampler (see [`FLIGHT_DEMAND_SAMPLE_MEAN`]).
+    /// Called from the serial and coalesced access paths and from the
+    /// sharded coordinator fold — always in stream order, so every
+    /// execution mode (chunk size, shard count) draws the identical sample
+    /// schedule and records byte-identical histograms.
+    /// The skip counter doubles as the attached/detached gate: it holds
+    /// `u64::MAX` while no recorder is attached (the untraced tap is one
+    /// predictable decrement-and-branch), and [`Machine::attach_flight`]
+    /// arms it at zero so the first access is always sampled. Should the
+    /// unattached countdown ever reach zero, the cold half tolerates the
+    /// missing recorder and simply draws the next gap.
+    #[inline]
+    pub fn flight_record_demand(&mut self, tier: TierId, size: PageSize, latency_ns: f64) {
+        if self.flight_skip > 0 {
+            self.flight_skip -= 1;
+            return;
+        }
+        self.flight_demand_sample(tier, size, latency_ns);
+    }
+
+    /// Cold half of the demand tap: one call per ~16 accesses records the
+    /// sample and draws the next skip gap.
+    #[inline(never)]
+    fn flight_demand_sample(&mut self, tier: TierId, size: PageSize, latency_ns: f64) {
+        if let Some(f) = self.flight.as_mut() {
+            f.record_demand(tier.0, size == PageSize::Huge, latency_ns);
+        }
+        // xorshift64: cheap, full-period, and seeded by a constant so the
+        // gap sequence is a pure function of the access stream position.
+        let mut x = self.flight_rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.flight_rng = x;
+        self.flight_skip = x % (2 * FLIGHT_DEMAND_SAMPLE_MEAN);
     }
 
     /// Switches the machine to per-lane TLB/LLC routing: the configured TLB
@@ -517,6 +606,8 @@ impl Machine {
             self.stats.loads += 1;
         }
 
+        self.flight_record_demand(tier, size, latency);
+
         Ok((
             AccessOutcome {
                 latency_ns: latency,
@@ -700,6 +791,7 @@ impl Machine {
                 } else {
                     self.stats.loads += 1;
                 }
+                self.flight_record_demand(tier, size, latency);
                 return Ok(AccessOutcome {
                     latency_ns: latency,
                     vpage,
@@ -1015,7 +1107,14 @@ impl Machine {
             return self.migrate(vpage, dst).map(MigrationHandle::Done);
         }
         match self.enqueue_inner(vpage, dst, priority, now_ns) {
-            Ok(h) => Ok(h),
+            Ok(h) => {
+                // A re-enqueue of a previously aborted page closes its
+                // abort-to-retry lag measurement.
+                if let Some(f) = self.flight.as_mut() {
+                    f.note_enqueue(vpage.0, now_ns);
+                }
+                Ok(h)
+            }
             Err(e) => {
                 if !matches!(e, SimError::QueueFull | SimError::InFlight(_)) {
                     self.stats.migration.failed += 1;
@@ -1068,7 +1167,7 @@ impl Machine {
     /// reservation. Returns `None` if the id is unknown (already finished).
     pub fn abort_transfer(&mut self, id: TransferId, now_ns: f64) -> Option<TransferEnd> {
         let t = self.engine.remove(id, now_ns)?;
-        Some(self.abort_common(t, AbortCause::Cancelled))
+        Some(self.abort_common(t, AbortCause::Cancelled, now_ns))
     }
 
     /// No transfers queued or copying.
@@ -1129,27 +1228,44 @@ impl Machine {
                     from,
                     to,
                     bytes,
-                } => events.push(EngineEvent::Started {
-                    id,
-                    vpage,
-                    from,
-                    to,
-                    bytes,
-                }),
+                    wait_ns,
+                } => {
+                    if let Some(f) = self.flight.as_mut() {
+                        f.record_queue_wait(wait_ns);
+                    }
+                    events.push(EngineEvent::Started {
+                        id,
+                        vpage,
+                        from,
+                        to,
+                        bytes,
+                    })
+                }
                 PumpOutcome::CopyDone(t) => {
                     if self.finalize_transfer(&t) {
+                        if let Some(f) = self.flight.as_mut() {
+                            f.record_transfer(t.end_ns - t.first_start_ns);
+                        }
                         self.stats.migration.recopies += t.recopies as u64;
                         events.push(EngineEvent::Ended(t.end(None)));
                     } else {
                         // The mapping changed under the copy; the data no
                         // longer describes the page.
-                        events.push(EngineEvent::Ended(
-                            self.abort_common(t, AbortCause::Superseded),
-                        ));
+                        let end_ns = t.end_ns;
+                        events.push(EngineEvent::Ended(self.abort_common(
+                            t,
+                            AbortCause::Superseded,
+                            end_ns,
+                        )));
                     }
                 }
                 PumpOutcome::DirtyAborted(t) => {
-                    events.push(EngineEvent::Ended(self.abort_common(t, AbortCause::Dirty)));
+                    let end_ns = t.end_ns;
+                    events.push(EngineEvent::Ended(self.abort_common(
+                        t,
+                        AbortCause::Dirty,
+                        end_ns,
+                    )));
                 }
             }
         }
@@ -1243,11 +1359,14 @@ impl Machine {
         true
     }
 
-    fn abort_common(&mut self, t: Transfer, cause: AbortCause) -> TransferEnd {
+    fn abort_common(&mut self, t: Transfer, cause: AbortCause, abort_ns: f64) -> TransferEnd {
         self.tiers[t.to.0 as usize].free(t.dst_frame, t.size);
         self.stats.migration.recopies += t.recopies as u64;
         self.stats.migration.aborted += 1;
         self.stats.migration.aborted_bytes += t.wasted_bytes();
+        if let Some(f) = self.flight.as_mut() {
+            f.note_abort(t.vpage.0, abort_ns);
+        }
         t.end(Some(cause))
     }
 

@@ -15,6 +15,7 @@ use crate::engine::{AbortCause, MigrationHandle, TransferEnd, TransferId};
 use crate::error::{SimError, SimResult};
 use crate::machine::{Machine, MigrateOutcome, SplitOutcome};
 use crate::page_table::EntryMut;
+use memtis_obs::profile::{SpanGuard, SpanId};
 use memtis_obs::{Event, EventKind, MigrationFailure, Observer, ShootdownCause};
 
 /// Cost of visiting one page-table entry during a scan (ns).
@@ -122,6 +123,17 @@ impl<'a> PolicyOps<'a> {
                 o.record(Event::new(self.now_ns, kind));
             }
         }
+    }
+
+    /// Opens a self-profiling span attributed to `id`, if the attached
+    /// observer carries a profiler. `None` (no work at all) otherwise —
+    /// in particular always `None` on untraced runs.
+    #[inline]
+    pub fn span(&self, id: SpanId) -> Option<SpanGuard> {
+        self.obs
+            .as_deref()
+            .and_then(|o| o.profiler())
+            .map(|p| p.enter(id))
     }
 
     /// Current simulated wall-clock time (ns).

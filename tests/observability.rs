@@ -81,6 +81,91 @@ fn tracing_does_not_change_simulation_results() {
     assert!(!plain.windows.is_empty());
     // And the traced run actually recorded something.
     assert!(obs.registry.counter(CounterId::EventsRecorded) > 0);
+    // The flight recorder exists only on the traced run; the untraced
+    // report is unchanged from the pre-flight-recorder format.
+    assert!(plain.lat.is_empty());
+    assert!(plain.lat_windows.is_empty());
+    assert!(!traced.lat.is_empty());
+    assert_eq!(traced.lat_windows.len(), traced.windows.len());
+}
+
+/// Without an observer the machine must not even allocate a flight
+/// recorder — the untraced hot path stays a single `Option` branch.
+#[test]
+fn untraced_run_attaches_no_flight_recorder() {
+    let mut wl = SpecStream::new(Benchmark::XsBench.spec(Scale::TEST, 50_000), SEED);
+    let mut sim = Simulation::new(
+        machine_for(Benchmark::XsBench, 8),
+        MemtisPolicy::new(memtis_cfg()),
+        driver(),
+    );
+    sim.run(&mut wl).expect("simulation should complete");
+    assert!(sim.flight().is_none());
+    assert!(sim.profile_stats().is_none());
+}
+
+/// The per-window latency series must tile the whole-run histograms: counts
+/// sum across windows to the run totals, and percentiles are ordered.
+#[test]
+fn flight_recorder_windows_tile_the_run() {
+    let (report, _) = run_traced(Benchmark::XsBench);
+    let whole: std::collections::BTreeMap<&str, f64> =
+        report.lat.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    assert!(whole["demand_count"] > 0.0);
+    assert!(whole["demand_p50_ns"] <= whole["demand_p90_ns"]);
+    assert!(whole["demand_p90_ns"] <= whole["demand_p99_ns"]);
+    assert!(whole["demand_p99_ns"] <= whole["demand_p999_ns"]);
+    assert!(whole["demand_p999_ns"] <= whole["demand_max_ns"]);
+    for class in ["demand", "transfer", "queue_wait", "abort_retry"] {
+        let key = format!("{class}_count");
+        let windowed: f64 = report
+            .lat_windows
+            .iter()
+            .flat_map(|rows| rows.iter())
+            .filter(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+            .sum();
+        // Accesses after the final window cut are only in the run total.
+        assert!(
+            windowed <= whole[key.as_str()],
+            "{key}: windowed {windowed} > whole-run {}",
+            whole[key.as_str()]
+        );
+    }
+}
+
+/// Sharded execution records demand latencies through the coordinator fold;
+/// the resulting histograms must match the single-shard oracle exactly (the
+/// repo's determinism contract: `--shards N` reproduces `--shards 1` at the
+/// same chunk), so every derived report row is bit-equal.
+#[test]
+fn sharded_flight_histograms_match_serial_oracle() {
+    let run = |shards: Option<usize>| {
+        let mut wl = SpecStream::new(Benchmark::XsBench.spec(Scale::TEST, ACCESSES), SEED);
+        let mut cfg = driver();
+        cfg.shards = shards;
+        let mut sim = Simulation::with_observer(
+            machine_for(Benchmark::XsBench, 8),
+            MemtisPolicy::new(memtis_cfg()),
+            cfg,
+            TracingObserver::new(),
+        );
+        sim.run(&mut wl).expect("simulation should complete")
+    };
+    let oracle = run(Some(1));
+    for n in [2usize, 3] {
+        let sharded = run(Some(n));
+        assert_eq!(
+            format!("{:?}", oracle.lat),
+            format!("{:?}", sharded.lat),
+            "shards={n}: flight-recorder rows must match the single-shard oracle"
+        );
+        assert_eq!(
+            format!("{:?}", oracle.lat_windows),
+            format!("{:?}", sharded.lat_windows),
+            "shards={n}: per-window latency series must match the single-shard oracle"
+        );
+    }
 }
 
 #[test]
@@ -128,4 +213,80 @@ fn perfetto_export_validates() {
     let trace = export_perfetto(&o, &r.windows);
     let n = validate_perfetto(&trace).expect("exported Perfetto JSON must validate");
     assert!(n > 0);
+}
+
+// ---- Flight-recorder merge properties (proptest) ----
+
+use memtis_repro::obs::LatHist;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-window histograms is bit-exactly the whole-run
+    /// histogram, for arbitrary latency streams and window boundaries —
+    /// the property the per-window percentile series rests on.
+    #[test]
+    fn per_window_lathist_merge_equals_whole_run(
+        lats in prop::collection::vec(0u64..3_000_000u64, 1..512),
+        cuts in prop::collection::vec(0usize..513, 0..8),
+    ) {
+        let mut cuts = cuts;
+        cuts.retain(|&c| c <= lats.len());
+        cuts.sort_unstable();
+        let mut whole = LatHist::new();
+        for &v in &lats {
+            whole.record_ns(v as f64);
+        }
+        let mut merged = LatHist::new();
+        let mut start = 0usize;
+        for end in cuts.into_iter().chain(std::iter::once(lats.len())) {
+            let mut w = LatHist::new();
+            for &v in &lats[start..end] {
+                w.record_ns(v as f64);
+            }
+            merged.merge(&w);
+            start = end;
+        }
+        prop_assert_eq!(merged, whole);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Sharded runs feed the flight recorder through the coordinator fold;
+    /// for arbitrary shard counts and window sizes the recorded rows (and
+    /// the per-window series) must be bit-equal to the `--shards 1` oracle
+    /// — the same determinism contract the report/trace byte-compares pin.
+    #[test]
+    fn sharded_lathists_merge_to_serial_oracle_prop(
+        shards in 2usize..9,
+        window in prop_oneof![Just(10_000u64), Just(25_000u64)],
+    ) {
+        let run = |s: Option<usize>| {
+            let mut wl =
+                SpecStream::new(Benchmark::XsBench.spec(Scale::TEST, 100_000), SEED);
+            let mut cfg = driver();
+            cfg.window_events = window;
+            cfg.shards = s;
+            let mut sim = Simulation::with_observer(
+                machine_for(Benchmark::XsBench, 8),
+                MemtisPolicy::new(memtis_cfg()),
+                cfg,
+                TracingObserver::new(),
+            );
+            sim.run(&mut wl).expect("simulation should complete")
+        };
+        let oracle = run(Some(1));
+        let sharded = run(Some(shards));
+        prop_assert_eq!(
+            format!("{:?}", oracle.lat),
+            format!("{:?}", sharded.lat)
+        );
+        prop_assert_eq!(
+            format!("{:?}", oracle.lat_windows),
+            format!("{:?}", sharded.lat_windows)
+        );
+    }
 }
